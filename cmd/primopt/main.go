@@ -1,0 +1,260 @@
+// Command primopt runs the hierarchical analog layout flow with
+// optimized primitives on the built-in benchmark circuits, and
+// regenerates the paper's tables.
+//
+// Usage:
+//
+//	primopt -circuit ota5t -mode all      # Table VI style comparison
+//	primopt -table 3                      # reproduce a numbered table
+//	primopt -table fig2                   # the motivating figure
+//	primopt -table all                    # everything (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"primopt/internal/cellgen"
+	"primopt/internal/circuits"
+	"primopt/internal/flow"
+	"primopt/internal/layoutio"
+	"primopt/internal/mc"
+	"primopt/internal/paper"
+	"primopt/internal/pdk"
+	"primopt/internal/primlib"
+	"primopt/internal/report"
+)
+
+var (
+	svgOut  string
+	consOut string
+)
+
+func main() {
+	circuitName := flag.String("circuit", "", "benchmark circuit: csamp, ota5t, strongarm, rovco, telescopic")
+	mode := flag.String("mode", "all", "schematic, conventional, optimized, manual, or all")
+	table := flag.String("table", "", "paper artifact: fig2, 1..8, ablations, all")
+	stages := flag.Int("stages", 8, "RO-VCO stage count")
+	seed := flag.Int64("seed", 1, "placement seed")
+	svgPath := flag.String("svg", "", "write the optimized floorplan + routes as SVG to this file")
+	consPath := flag.String("constraints", "", "write the detailed-router constraints of the optimized run to this file")
+	mcRun := flag.Bool("mc", false, "run the Monte Carlo offset comparison across DP patterns")
+	flag.Parse()
+	svgOut = *svgPath
+	consOut = *consPath
+
+	tech := pdk.Default()
+	if err := tech.Validate(); err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *mcRun:
+		if err := runMC(tech); err != nil {
+			fatal(err)
+		}
+	case *table != "":
+		if err := runTables(tech, *table, *stages); err != nil {
+			fatal(err)
+		}
+	case *circuitName != "":
+		if err := runCircuit(tech, *circuitName, *mode, *stages, *seed); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "primopt:", err)
+	os.Exit(1)
+}
+
+func buildCircuit(tech *pdk.Tech, name string, stages int) (*circuits.Benchmark, error) {
+	switch name {
+	case "csamp":
+		return circuits.CommonSource(tech)
+	case "ota5t":
+		return circuits.OTA5T(tech)
+	case "strongarm":
+		return circuits.StrongARM(tech)
+	case "rovco":
+		return circuits.ROVCO(tech, stages)
+	case "telescopic":
+		return circuits.Telescopic(tech)
+	default:
+		return nil, fmt.Errorf("unknown circuit %q (want csamp, ota5t, strongarm, rovco, telescopic)", name)
+	}
+}
+
+func runCircuit(tech *pdk.Tech, name, modeName string, stages int, seed int64) error {
+	bm, err := buildCircuit(tech, name, stages)
+	if err != nil {
+		return err
+	}
+	modes := map[string]flow.Mode{
+		"schematic":    flow.Schematic,
+		"conventional": flow.Conventional,
+		"optimized":    flow.Optimized,
+		"manual":       flow.Manual,
+	}
+	var order []flow.Mode
+	if modeName == "all" {
+		order = []flow.Mode{flow.Schematic, flow.Conventional, flow.Optimized, flow.Manual}
+	} else {
+		m, ok := modes[strings.ToLower(modeName)]
+		if !ok {
+			return fmt.Errorf("unknown mode %q", modeName)
+		}
+		order = []flow.Mode{m}
+	}
+
+	tb := report.New(fmt.Sprintf("%s: %s", bm.Name, strings.Join(bm.MetricOrder, ", ")),
+		append([]string{"Metric (unit)"}, modeNames(order)...)...)
+	results := map[flow.Mode]*flow.Result{}
+	for _, m := range order {
+		r, err := flow.Run(tech, bm, m, flow.Params{Seed: seed})
+		if err != nil {
+			return err
+		}
+		results[m] = r
+		fmt.Printf("%-12s done in %s (%d SPICE runs)\n", m, r.Runtime.Round(1e6), r.Sims)
+		if consOut != "" && m == flow.Optimized {
+			if err := os.WriteFile(consOut, []byte(r.RouterConstraints(bm)), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", consOut)
+		}
+		if svgOut != "" && m == flow.Optimized && r.Placement != nil {
+			svg, err := layoutio.WriteSVG(r.Placement, r.Routing, layoutio.SVGOptions{
+				Title: fmt.Sprintf("%s (optimized flow)", bm.Name),
+			})
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(svgOut, []byte(svg), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", svgOut)
+		}
+	}
+	for _, metric := range bm.MetricOrder {
+		row := []interface{}{fmt.Sprintf("%s (%s)", metric, bm.MetricUnit[metric])}
+		for _, m := range order {
+			row = append(row, fmt.Sprintf("%.5g", results[m].Metrics[metric]))
+		}
+		tb.Add(row...)
+	}
+	fmt.Println()
+	fmt.Print(tb.String())
+	return nil
+}
+
+func modeNames(modes []flow.Mode) []string {
+	out := make([]string, len(modes))
+	for i, m := range modes {
+		out[i] = m.String()
+	}
+	return out
+}
+
+func runTables(tech *pdk.Tech, which string, stages int) error {
+	type gen struct {
+		name string
+		f    func() (*report.Table, error)
+	}
+	gens := []gen{
+		{"fig2", func() (*report.Table, error) { return paper.Fig2(tech) }},
+		{"1", func() (*report.Table, error) { return paper.Table1(tech) }},
+		{"2", func() (*report.Table, error) { return paper.Table2() }},
+		{"3", func() (*report.Table, error) { return paper.Table3(tech) }},
+		{"4", func() (*report.Table, error) { return paper.Table4(tech) }},
+		{"5", func() (*report.Table, error) { return paper.Table5(tech) }},
+		{"6", func() (*report.Table, error) {
+			tb, results, err := paper.Table6(tech)
+			if err == nil {
+				for _, line := range paper.ShapeChecks(results) {
+					tb.Note("%s", line)
+				}
+			}
+			return tb, err
+		}},
+		{"7", func() (*report.Table, error) {
+			tb, results, err := paper.Table7(tech, stages)
+			if err == nil {
+				for _, line := range paper.ShapeChecks(results) {
+					tb.Note("%s", line)
+				}
+			}
+			return tb, err
+		}},
+		{"8", func() (*report.Table, error) { return paper.Table8(tech, nil) }},
+		{"ablations", func() (*report.Table, error) { return nil, runAblations(tech) }},
+	}
+	want := strings.ToLower(which)
+	ran := false
+	for _, g := range gens {
+		if want != "all" && want != g.name {
+			continue
+		}
+		ran = true
+		tb, err := g.f()
+		if err != nil {
+			return fmt.Errorf("table %s: %w", g.name, err)
+		}
+		if tb != nil {
+			fmt.Print(tb.String())
+			fmt.Println()
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown table %q", which)
+	}
+	return nil
+}
+
+func runAblations(tech *pdk.Tech) error {
+	for _, f := range []func(*pdk.Tech) (*report.Table, error){
+		paper.AblationBinning, paper.AblationLDE,
+		paper.AblationCurvature, paper.AblationReconcile,
+	} {
+		tb, err := f(tech)
+		if err != nil {
+			return err
+		}
+		fmt.Print(tb.String())
+		fmt.Println()
+	}
+	return nil
+}
+
+// runMC prints the Monte Carlo offset comparison across the DP
+// placement patterns (see internal/mc).
+func runMC(tech *pdk.Tech) error {
+	sz := primlib.Sizing{TotalFins: 960, L: tech.GateL}
+	bias := primlib.Bias{Vdd: 0.8, VCM: 0.45, VD: 0.4, ITail: 100e-6, CLoad: 5e-15}
+	cfgs := []cellgen.Config{
+		{NFin: 12, NF: 20, M: 4, Dummies: 2, Pattern: cellgen.PatABBA},
+		{NFin: 12, NF: 20, M: 4, Dummies: 2, Pattern: cellgen.PatABAB},
+		{NFin: 12, NF: 20, M: 4, Dummies: 2, Pattern: cellgen.PatAABB},
+	}
+	stats, err := mc.CompareOffsets(tech, primlib.DiffPair, sz, bias, cfgs,
+		mc.Params{Samples: 5000, Seed: 1})
+	if err != nil {
+		return err
+	}
+	tb := report.New("Monte Carlo: DP input offset by pattern (5000 samples)",
+		"Config", "Systematic (uV)", "Sigma (uV)", "P99 |offset| (uV)")
+	for _, st := range stats {
+		tb.Add(st.Config.ID(),
+			fmt.Sprintf("%+.1f", st.Systematic*1e6),
+			fmt.Sprintf("%.1f", st.Sigma*1e6),
+			fmt.Sprintf("%.1f", st.P99*1e6))
+	}
+	fmt.Print(tb.String())
+	return nil
+}

@@ -1,0 +1,3 @@
+module primopt
+
+go 1.22

@@ -1,0 +1,24 @@
+package circuits
+
+import (
+	"testing"
+)
+
+func TestStrongARMSchematic(t *testing.T) {
+	bm, err := StrongARM(tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := bm.Eval(tech, bm.Schematic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := vals["delay"]
+	if d < 1e-12 || d > 1e-9 {
+		t.Errorf("delay = %g, want ps-scale", d)
+	}
+	p := vals["power"]
+	if p <= 0 || p > 2e-3 {
+		t.Errorf("power = %g", p)
+	}
+}

@@ -1,0 +1,75 @@
+// Package cost implements the paper's primitive cost function
+// (Eqs. 5 and 6): a weighted sum of normalized metric deviations
+// between the post-layout and schematic values, with a spec-relative
+// branch for metrics whose schematic value is zero (such as
+// differential-pair input offset).
+//
+// One deliberate deviation from the paper's text: Eq. (6) as printed
+// reads |x_spec − x_layout|/x_spec for the zero-schematic case, which
+// would penalize a layout for being *better* than spec (a zero-offset
+// layout would cost 1). We implement the evident intent — penalize
+// only the overshoot beyond spec: max(0, (|x_layout| − x_spec)/x_spec)
+// — which reproduces the published Table III behaviour (0% offset for
+// compliant patterns, large values for AABB).
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metric describes one primitive performance metric with its weight α
+// and reference values.
+type Metric struct {
+	Name      string
+	Weight    float64 // α: 1 high, 0.5 medium, 0.1 low
+	Schematic float64 // x_sch; 0 activates the spec branch
+	Spec      float64 // x_spec, used when Schematic == 0
+}
+
+// Weights as used throughout the paper (Section II-B).
+const (
+	WeightHigh   = 1.0
+	WeightMedium = 0.5
+	WeightLow    = 0.1
+)
+
+// Deviation computes Δx_i of Eq. (6) for a layout value.
+func Deviation(m Metric, layoutVal float64) float64 {
+	if m.Schematic != 0 {
+		return math.Abs(m.Schematic-layoutVal) / math.Abs(m.Schematic)
+	}
+	if m.Spec == 0 {
+		// No reference at all: any nonzero layout value is pure
+		// deviation; report its magnitude.
+		return math.Abs(layoutVal)
+	}
+	return math.Max(0, (math.Abs(layoutVal)-math.Abs(m.Spec))/math.Abs(m.Spec))
+}
+
+// Value is one evaluated metric.
+type Value struct {
+	Metric Metric
+	Layout float64 // measured post-layout value
+	Delta  float64 // Eq. (6) deviation (fraction)
+}
+
+// Evaluate builds a Value from a metric and its measured layout value.
+func Evaluate(m Metric, layoutVal float64) Value {
+	return Value{Metric: m, Layout: layoutVal, Delta: Deviation(m, layoutVal)}
+}
+
+// Total computes Eq. (5): Σ α_i · Δx_i, expressed in percent (the
+// unit the paper's Table III and Table IV use).
+func Total(values []Value) float64 {
+	sum := 0.0
+	for _, v := range values {
+		sum += v.Metric.Weight * v.Delta
+	}
+	return 100 * sum
+}
+
+// String renders a value like "ΔGm=1.4%".
+func (v Value) String() string {
+	return fmt.Sprintf("Δ%s=%.1f%%", v.Metric.Name, 100*v.Delta)
+}

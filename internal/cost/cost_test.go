@@ -1,0 +1,111 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeviationSchematicCase(t *testing.T) {
+	m := Metric{Name: "Gm", Weight: 1, Schematic: 2e-3}
+	if d := Deviation(m, 2e-3); d != 0 {
+		t.Errorf("exact match deviation = %g", d)
+	}
+	if d := Deviation(m, 1.9e-3); math.Abs(d-0.05) > 1e-12 {
+		t.Errorf("5%% low deviation = %g", d)
+	}
+	// Overshoot counts the same as undershoot.
+	if math.Abs(Deviation(m, 2.1e-3)-Deviation(m, 1.9e-3)) > 1e-12 {
+		t.Error("asymmetric deviation")
+	}
+	// Negative schematic values normalize by magnitude.
+	mn := Metric{Name: "x", Weight: 1, Schematic: -4}
+	if d := Deviation(mn, -3); math.Abs(d-0.25) > 1e-12 {
+		t.Errorf("negative-schematic deviation = %g", d)
+	}
+}
+
+func TestDeviationSpecCase(t *testing.T) {
+	m := Metric{Name: "offset", Weight: 1, Schematic: 0, Spec: 1e-3}
+	// Within spec: no penalty (including exactly zero).
+	if d := Deviation(m, 0); d != 0 {
+		t.Errorf("zero offset deviation = %g", d)
+	}
+	if d := Deviation(m, 0.5e-3); d != 0 {
+		t.Errorf("within-spec deviation = %g", d)
+	}
+	// 92% overshoot, as in the paper's Table III AABB row.
+	if d := Deviation(m, 1.92e-3); math.Abs(d-0.92) > 1e-12 {
+		t.Errorf("overshoot deviation = %g, want 0.92", d)
+	}
+	// Sign of the layout value is irrelevant.
+	if Deviation(m, -1.92e-3) != Deviation(m, 1.92e-3) {
+		t.Error("offset sign should not matter")
+	}
+	// Degenerate: no spec at all.
+	m0 := Metric{Name: "x", Weight: 1}
+	if d := Deviation(m0, 0.25); d != 0.25 {
+		t.Errorf("no-reference deviation = %g", d)
+	}
+}
+
+func TestTotalMatchesTableIIIArithmetic(t *testing.T) {
+	// Paper Table III, row nfin=8 nf=20 m=6 ABBA:
+	// ΔGm=1.4% (α=0.5), ΔGm/Ctotal=6.7% (α=0.5), ΔOffset=0% (α=1)
+	// -> Cost = 4.0 (percent points, rounded in print).
+	vals := []Value{
+		{Metric: Metric{Name: "Gm", Weight: WeightMedium}, Delta: 0.014},
+		{Metric: Metric{Name: "Gm/Ctotal", Weight: WeightMedium}, Delta: 0.067},
+		{Metric: Metric{Name: "offset", Weight: WeightHigh}, Delta: 0},
+	}
+	got := Total(vals)
+	if math.Abs(got-4.05) > 0.01 {
+		t.Errorf("cost = %g, want 4.05", got)
+	}
+	// The AABB blow-up row: ΔGm=6.6%, Δ(Gm/C)=12.1%, ΔOffset=92%
+	// -> 0.5*6.6 + 0.5*12.1 + 1*92 = 101.35 ≈ printed 101.7.
+	vals = []Value{
+		{Metric: Metric{Name: "Gm", Weight: WeightMedium}, Delta: 0.066},
+		{Metric: Metric{Name: "Gm/Ctotal", Weight: WeightMedium}, Delta: 0.121},
+		{Metric: Metric{Name: "offset", Weight: WeightHigh}, Delta: 0.92},
+	}
+	if got := Total(vals); math.Abs(got-101.35) > 0.01 {
+		t.Errorf("AABB cost = %g, want 101.35", got)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	m := Metric{Name: "Gm", Weight: 1, Schematic: 2}
+	v := Evaluate(m, 1.8)
+	if v.Layout != 1.8 || math.Abs(v.Delta-0.1) > 1e-12 {
+		t.Errorf("Evaluate = %+v", v)
+	}
+	if !strings.Contains(v.String(), "Gm=10.0%") {
+		t.Errorf("String = %q", v.String())
+	}
+}
+
+// Properties: deviation is non-negative, zero at the schematic value,
+// and monotone in distance from it.
+func TestDeviationProperties(t *testing.T) {
+	f := func(schRaw, d1Raw, d2Raw uint16) bool {
+		sch := float64(schRaw)/100 + 0.1
+		d1 := float64(d1Raw) / 1000
+		d2 := d1 + float64(d2Raw)/1000
+		m := Metric{Name: "x", Weight: 1, Schematic: sch}
+		dev0 := Deviation(m, sch)
+		devNear := Deviation(m, sch+d1)
+		devFar := Deviation(m, sch+d2)
+		return dev0 == 0 && devNear >= 0 && devFar >= devNear
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalEmpty(t *testing.T) {
+	if Total(nil) != 0 {
+		t.Error("empty cost should be 0")
+	}
+}

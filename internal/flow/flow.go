@@ -1,0 +1,551 @@
+// Package flow assembles the full hierarchical layout flow of Fig. 1
+// and the comparison methodologies of the paper's results section:
+//
+//   - Schematic: the reference metrics, no layout effects.
+//   - Conventional: primitives laid out to meet geometric constraints
+//     only (the most compact configuration, single wires everywhere,
+//     no parasitic/LDE optimization) — the paper's baseline.
+//   - Optimized ("this work"): Algorithm 1 per primitive, simulated
+//     annealing placement over the optimized variants, global
+//     routing, Algorithm 2 port optimization, then post-layout
+//     simulation of the assembled netlist.
+//   - Manual: an exhaustive oracle standing in for expert manual
+//     layout — the same machinery with the search opened wide.
+//
+// Assembly splices each primitive's extracted parasitics into a clone
+// of the schematic netlist: device LDE/junction parameters on the
+// transistors, wire RC π-sections at the primitive terminals, and the
+// reconciled global-route RC at the ports.
+package flow
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"primopt/internal/circuit"
+	"primopt/internal/circuits"
+	"primopt/internal/cost"
+	"primopt/internal/extract"
+	"primopt/internal/optimize"
+	"primopt/internal/pdk"
+	"primopt/internal/place"
+	"primopt/internal/portopt"
+	"primopt/internal/primlib"
+	"primopt/internal/route"
+	"primopt/internal/spice"
+)
+
+// Mode selects the methodology to run.
+type Mode int
+
+// The four comparison columns of Tables VI and VII.
+const (
+	Schematic Mode = iota
+	Conventional
+	Optimized
+	Manual
+)
+
+var modeNames = [...]string{"schematic", "conventional", "optimized", "manual"}
+
+func (m Mode) String() string {
+	if int(m) < len(modeNames) {
+		return modeNames[m]
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Params tunes the flow.
+type Params struct {
+	Seed     int64
+	Optimize optimize.Params
+	Port     portopt.Params
+	Place    place.Params
+	Route    route.Params
+}
+
+// Result is one flow run.
+type Result struct {
+	Mode      Mode
+	Benchmark string
+	Metrics   map[string]float64
+	Runtime   time.Duration
+	Sims      int
+
+	// Populated for layout modes.
+	PrimResults map[string]*optimize.Result
+	Placement   *place.Placement
+	Routing     *route.Result
+	NetWires    map[string]int
+	Netlist     *circuit.Netlist // the assembled post-layout netlist
+}
+
+// chosen is the per-instance layout decision feeding assembly.
+type chosen struct {
+	inst    *circuits.Inst
+	entry   *primlib.Entry
+	bias    primlib.Bias
+	ex      *extract.Extracted
+	metrics []cost.Metric
+	routes  map[string]extract.Route
+}
+
+// Run executes one methodology on a benchmark.
+func Run(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params) (*Result, error) {
+	start := time.Now()
+	res := &Result{Mode: mode, Benchmark: bm.Name}
+	defer func() { res.Runtime = time.Since(start) }()
+
+	if mode == Schematic {
+		vals, err := bm.Eval(t, bm.Schematic)
+		if err != nil {
+			return nil, fmt.Errorf("flow: %s schematic eval: %w", bm.Name, err)
+		}
+		res.Metrics = vals
+		return res, nil
+	}
+
+	op, err := bm.SchematicOP(t)
+	if err != nil {
+		return nil, fmt.Errorf("flow: %s schematic OP: %w", bm.Name, err)
+	}
+
+	var choices map[string]*chosen
+	switch mode {
+	case Conventional:
+		choices, err = conventionalChoices(t, bm, op)
+	case Optimized, Manual:
+		choices, err = optimizedChoices(t, bm, op, mode, p, res)
+	default:
+		return nil, fmt.Errorf("flow: unknown mode %v", mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Placement over the chosen variants (Optimized keeps all bins as
+	// variants so the placer can trade aspect ratios; Conventional
+	// and Manual have one variant each).
+	pl, err := runPlacement(bm, choices, res, p)
+	if err != nil {
+		return nil, err
+	}
+
+	// Global routing between placed primitives.
+	routing, err := runRouting(t, bm, pl, p)
+	if err != nil {
+		return nil, err
+	}
+	res.Routing = routing
+	attachRoutes(bm, choices, routing)
+
+	// Port optimization (Algorithm 2) for the optimizing modes;
+	// conventional keeps single routes.
+	netWires := map[string]int{}
+	if mode == Optimized || mode == Manual {
+		pp := p.Port
+		if mode == Manual && pp.MaxWires == 0 {
+			pp.MaxWires = 10
+		}
+		prims := make([]*portopt.PrimInstance, 0, len(choices))
+		for _, name := range sortedKeys(choices) {
+			ch := choices[name]
+			if len(ch.routes) == 0 {
+				continue
+			}
+			metrics, err := primMetrics(t, ch)
+			if err != nil {
+				return nil, err
+			}
+			netOf := map[string]string{}
+			for w := range ch.routes {
+				netOf[w] = circuit.NormalizeNet(ch.inst.TermNets[w])
+			}
+			prims = append(prims, &portopt.PrimInstance{
+				Name: name, Entry: ch.entry, Sizing: ch.inst.Sizing, Bias: ch.bias,
+				Ex: ch.ex, Metrics: metrics, Routes: ch.routes, NetOf: netOf,
+				SymGroups: ch.entry.SymPorts,
+			})
+		}
+		pres, err := portopt.Optimize(t, prims, pp)
+		if err != nil {
+			return nil, fmt.Errorf("flow: %s port optimization: %w", bm.Name, err)
+		}
+		res.Sims += pres.Sims
+		netWires = pres.Wires
+		// Symmetric port groups must end with matched routes: lift
+		// each group's nets to the group's maximum count.
+		for _, ch := range choices {
+			for _, group := range ch.entry.SymPorts {
+				maxN := 0
+				for _, w := range group {
+					if n, ok := netWires[circuit.NormalizeNet(ch.inst.TermNets[w])]; ok && n > maxN {
+						maxN = n
+					}
+				}
+				if maxN == 0 {
+					continue
+				}
+				for _, w := range group {
+					if net := circuit.NormalizeNet(ch.inst.TermNets[w]); net != "" {
+						if _, ok := netWires[net]; ok {
+							netWires[net] = maxN
+						}
+					}
+				}
+			}
+		}
+		// Apply the reconciled counts to the route geometry.
+		for _, ch := range choices {
+			for w, rt := range ch.routes {
+				if n, ok := netWires[circuit.NormalizeNet(ch.inst.TermNets[w])]; ok {
+					rt.NWires = n
+					ch.routes[w] = rt
+				}
+			}
+		}
+	} else {
+		for _, net := range bm.RoutedNets {
+			netWires[circuit.NormalizeNet(net)] = 1
+		}
+	}
+	res.NetWires = netWires
+
+	// Assemble and evaluate the post-layout netlist.
+	nl, err := Assemble(t, bm, choices)
+	if err != nil {
+		return nil, err
+	}
+	res.Netlist = nl
+	vals, err := bm.Eval(t, nl)
+	if err != nil {
+		return nil, fmt.Errorf("flow: %s post-layout eval (%v): %w", bm.Name, mode, err)
+	}
+	res.Metrics = vals
+	return res, nil
+}
+
+// conventionalChoices picks the most compact legal configuration per
+// primitive — geometric constraints only, no performance awareness.
+func conventionalChoices(t *pdk.Tech, bm *circuits.Benchmark, op *spice.OPResult) (map[string]*chosen, error) {
+	out := map[string]*chosen{}
+	for _, in := range bm.Insts {
+		entry, err := primlib.Lookup(in.Kind)
+		if err != nil {
+			return nil, err
+		}
+		lays, err := entry.FindLayouts(t, in.Sizing, nil)
+		if err != nil {
+			return nil, fmt.Errorf("flow: conventional %s: %w", in.Name, err)
+		}
+		best := lays[0]
+		for _, l := range lays[1:] {
+			if l.BBox.Area() < best.BBox.Area() {
+				best = l
+			}
+		}
+		ex, err := extract.Primitive(t, best)
+		if err != nil {
+			return nil, err
+		}
+		out[in.Name] = &chosen{inst: in, entry: entry, bias: in.Bias(op), ex: ex}
+	}
+	return out, nil
+}
+
+// optimizedChoices runs Algorithm 1 per primitive (concurrently) and
+// takes each primitive's best tuned option; Manual widens the search.
+func optimizedChoices(t *pdk.Tech, bm *circuits.Benchmark, op *spice.OPResult,
+	mode Mode, p Params, res *Result) (map[string]*chosen, error) {
+	res.PrimResults = map[string]*optimize.Result{}
+	out := map[string]*chosen{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make([]error, len(bm.Insts))
+	for i, in := range bm.Insts {
+		wg.Add(1)
+		go func(i int, in *circuits.Inst) {
+			defer wg.Done()
+			entry, err := primlib.Lookup(in.Kind)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			op1 := p.Optimize
+			if mode == Manual {
+				// The oracle: more bins, deeper tuning sweeps.
+				if op1.Bins == 0 {
+					op1.Bins = 5
+				}
+				if op1.MaxWires == 0 {
+					op1.MaxWires = 10
+				}
+			}
+			r, err := optimize.Optimize(t, entry, in.Sizing, in.Bias(op), op1)
+			if err != nil {
+				errs[i] = fmt.Errorf("flow: optimizing %s: %w", in.Name, err)
+				return
+			}
+			best := r.Best()
+			if best == nil {
+				errs[i] = fmt.Errorf("flow: %s produced no options", in.Name)
+				return
+			}
+			mu.Lock()
+			res.PrimResults[in.Name] = r
+			res.Sims += r.TotalSims()
+			out[in.Name] = &chosen{inst: in, entry: entry, bias: r.Bias, ex: best.Ex, metrics: r.Metrics}
+			mu.Unlock()
+		}(i, in)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// primMetrics returns the cost metrics for a chosen primitive,
+// reusing the Algorithm 1 result when available.
+func primMetrics(t *pdk.Tech, ch *chosen) ([]cost.Metric, error) {
+	if ch.metrics != nil {
+		return ch.metrics, nil
+	}
+	sch, err := ch.entry.Evaluate(t, ch.inst.Sizing, ch.bias, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	m, err := ch.entry.CostMetrics(t, ch.inst.Sizing, sch)
+	if err != nil {
+		return nil, err
+	}
+	ch.metrics = m
+	return m, nil
+}
+
+// runPlacement builds placement blocks from the choices. Variants for
+// the optimizing modes come from each primitive's selected options.
+func runPlacement(bm *circuits.Benchmark, choices map[string]*chosen, res *Result, p Params) (*place.Placement, error) {
+	var blocks []place.Block
+	for _, name := range sortedKeys(choices) {
+		ch := choices[name]
+		variants := []place.Variant{{
+			W: ch.ex.Layout.BBox.W(), H: ch.ex.Layout.BBox.H(),
+			Tag: ch.ex.Layout.Config.ID(),
+		}}
+		if r, ok := res.PrimResults[name]; ok {
+			if res.Mode == Manual {
+				// The oracle commits to its best option; the placer
+				// must not trade it away for area.
+				best := r.Best()
+				variants = []place.Variant{{
+					W: best.Layout.BBox.W(), H: best.Layout.BBox.H(),
+					Tag: best.Layout.Config.ID(),
+				}}
+			} else {
+				variants = variants[:0]
+				for _, opt := range r.Selected {
+					variants = append(variants, place.Variant{
+						W: opt.Layout.BBox.W(), H: opt.Layout.BBox.H(),
+						Tag: opt.Layout.Config.ID(),
+					})
+				}
+			}
+		}
+		blocks = append(blocks, place.Block{Name: name, Variants: variants})
+	}
+	var nets []place.Net
+	for _, netName := range bm.RoutedNets {
+		n := place.Net{Name: netName}
+		for _, name := range sortedKeys(choices) {
+			ch := choices[name]
+			for _, target := range ch.inst.TermNets {
+				if circuit.NormalizeNet(target) == circuit.NormalizeNet(netName) {
+					n.Blocks = append(n.Blocks, name)
+					break
+				}
+			}
+		}
+		if len(n.Blocks) >= 2 {
+			nets = append(nets, n)
+		}
+	}
+	var sym []place.SymPair
+	for _, name := range sortedKeys(choices) {
+		if sw := choices[name].inst.SymWith; sw != "" {
+			sym = append(sym, place.SymPair{A: sw, B: name})
+		}
+	}
+	pl, err := place.Place(blocks, nets, sym, place.Params{Seed: p.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("flow: placement: %w", err)
+	}
+	// Re-extract any primitive whose placed variant differs from the
+	// chosen one (the placer may pick another aspect-ratio bin).
+	// Manual mode exposed a single variant, already the best.
+	if res.Mode != Manual {
+		for _, name := range sortedKeys(choices) {
+			ch := choices[name]
+			r, ok := res.PrimResults[name]
+			if !ok {
+				continue
+			}
+			vi := pl.Variant[name]
+			if vi >= 0 && vi < len(r.Selected) {
+				ch.ex = r.Selected[vi].Ex
+			}
+		}
+	}
+	res.Placement = pl
+	return pl, nil
+}
+
+// runRouting routes the benchmark's signal nets over the placement.
+func runRouting(t *pdk.Tech, bm *circuits.Benchmark, pl *place.Placement, p Params) (*route.Result, error) {
+	region := pl.BBox.Expand(pl.BBox.W()/10 + 200)
+	var reqs []route.NetReq
+	for _, netName := range bm.RoutedNets {
+		nn := circuit.NormalizeNet(netName)
+		req := route.NetReq{Name: nn}
+		for _, in := range bm.Insts {
+			r, ok := pl.Pos[in.Name]
+			if !ok {
+				continue
+			}
+			touches := false
+			for _, target := range in.TermNets {
+				if circuit.NormalizeNet(target) == nn {
+					touches = true
+					break
+				}
+			}
+			if touches {
+				req.Pins = append(req.Pins, route.Pin{Block: in.Name, At: r.Center()})
+			}
+		}
+		if len(req.Pins) >= 2 {
+			reqs = append(reqs, req)
+		}
+	}
+	return route.Route(t, region, reqs, p.Route)
+}
+
+// attachRoutes converts per-net routing geometry into per-instance
+// port routes (each pin carries its share of the net's length and
+// vias).
+func attachRoutes(bm *circuits.Benchmark, choices map[string]*chosen, routing *route.Result) {
+	for _, name := range sortedKeys(choices) {
+		ch := choices[name]
+		ch.routes = map[string]extract.Route{}
+		for w, target := range ch.inst.TermNets {
+			nn := circuit.NormalizeNet(target)
+			nr, ok := routing.Nets[nn]
+			if !ok || nr.TotalLength() == 0 {
+				continue
+			}
+			if _, isWire := ch.ex.Term[w]; !isWire {
+				continue
+			}
+			pins := pinCount(bm, nn)
+			if pins < 1 {
+				pins = 1
+			}
+			ch.routes[w] = extract.Route{
+				Layer:    nr.DominantLayer(),
+				Length:   nr.TotalLength() / int64(pins),
+				NWires:   1,
+				PinLayer: 0,
+				Vias:     nr.Vias/pins + 2,
+			}
+		}
+	}
+}
+
+func pinCount(bm *circuits.Benchmark, net string) int {
+	count := 0
+	for _, in := range bm.Insts {
+		for _, target := range in.TermNets {
+			if circuit.NormalizeNet(target) == net {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+func sortedKeys(m map[string]*chosen) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunFixedWires runs the geometric (conventional) flow but with every
+// within-primitive wire and every global route forced to n parallel
+// wires — the "narrow" (n=1) and "wide" (large n) corners of the
+// paper's Fig. 2 trade-off.
+func RunFixedWires(t *pdk.Tech, bm *circuits.Benchmark, n int, p Params) (*Result, error) {
+	start := time.Now()
+	res := &Result{Mode: Conventional, Benchmark: bm.Name}
+	defer func() { res.Runtime = time.Since(start) }()
+	if n < 1 {
+		n = 1
+	}
+
+	op, err := bm.SchematicOP(t)
+	if err != nil {
+		return nil, err
+	}
+	choices, err := conventionalChoices(t, bm, op)
+	if err != nil {
+		return nil, err
+	}
+	// Force the wire count everywhere and re-extract.
+	for _, name := range sortedKeys(choices) {
+		ch := choices[name]
+		for _, w := range ch.ex.Layout.Wires {
+			w.NWires = n
+		}
+		ex, err := extract.Primitive(t, ch.ex.Layout)
+		if err != nil {
+			return nil, err
+		}
+		ch.ex = ex
+	}
+	pl, err := runPlacement(bm, choices, res, p)
+	if err != nil {
+		return nil, err
+	}
+	routing, err := runRouting(t, bm, pl, p)
+	if err != nil {
+		return nil, err
+	}
+	res.Routing = routing
+	attachRoutes(bm, choices, routing)
+	res.NetWires = map[string]int{}
+	for _, ch := range choices {
+		for w, rt := range ch.routes {
+			rt.NWires = n
+			ch.routes[w] = rt
+			res.NetWires[circuit.NormalizeNet(ch.inst.TermNets[w])] = n
+		}
+	}
+	nl, err := Assemble(t, bm, choices)
+	if err != nil {
+		return nil, err
+	}
+	res.Netlist = nl
+	vals, err := bm.Eval(t, nl)
+	if err != nil {
+		return nil, fmt.Errorf("flow: %s fixed-wires eval: %w", bm.Name, err)
+	}
+	res.Metrics = vals
+	return res, nil
+}

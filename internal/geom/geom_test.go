@@ -1,0 +1,217 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPointOps(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, -1}
+	if got := p.Add(q); got != (Point{4, 1}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{-2, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if d := p.ManhattanDist(q); d != 5 {
+		t.Errorf("ManhattanDist = %d", d)
+	}
+	if s := p.String(); s != "(1,2)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestNewRectNormalizes(t *testing.T) {
+	r := NewRect(5, 7, 1, 2)
+	if r != (Rect{1, 2, 5, 7}) {
+		t.Errorf("NewRect = %v", r)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{0, 0, 4, 2}
+	if r.W() != 4 || r.H() != 2 || r.Area() != 8 {
+		t.Errorf("W/H/Area = %d %d %d", r.W(), r.H(), r.Area())
+	}
+	if r.AspectRatio() != 0.5 {
+		t.Errorf("AspectRatio = %g", r.AspectRatio())
+	}
+	if r.Empty() {
+		t.Error("non-empty rect reported empty")
+	}
+	e := Rect{}
+	if !e.Empty() || e.W() != 0 || e.H() != 0 || e.AspectRatio() != 0 {
+		t.Error("empty rect misbehaves")
+	}
+	if c := r.Center(); c != (Point{2, 1}) {
+		t.Errorf("Center = %v", c)
+	}
+	if got := r.Translate(Point{10, 20}); got != (Rect{10, 20, 14, 22}) {
+		t.Errorf("Translate = %v", got)
+	}
+	if got := r.Expand(1); got != (Rect{-1, -1, 5, 3}) {
+		t.Errorf("Expand = %v", got)
+	}
+}
+
+func TestRectUnionIntersect(t *testing.T) {
+	a := Rect{0, 0, 2, 2}
+	b := Rect{1, 1, 3, 3}
+	if u := a.Union(b); u != (Rect{0, 0, 3, 3}) {
+		t.Errorf("Union = %v", u)
+	}
+	if i := a.Intersect(b); i != (Rect{1, 1, 2, 2}) {
+		t.Errorf("Intersect = %v", i)
+	}
+	if !a.Intersects(b) {
+		t.Error("overlapping rects reported disjoint")
+	}
+	c := Rect{5, 5, 6, 6}
+	if a.Intersects(c) {
+		t.Error("disjoint rects reported overlapping")
+	}
+	if i := a.Intersect(c); !i.Empty() {
+		t.Errorf("disjoint Intersect = %v, want empty", i)
+	}
+	// Union with empty is identity.
+	if u := a.Union(Rect{}); u != a {
+		t.Errorf("Union with empty = %v", u)
+	}
+	if u := (Rect{}).Union(a); u != a {
+		t.Errorf("empty Union = %v", u)
+	}
+	// Touching edges do not intersect (half-open).
+	d := Rect{2, 0, 4, 2}
+	if a.Intersects(d) {
+		t.Error("edge-touching rects reported overlapping")
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := Rect{0, 0, 2, 2}
+	if !r.Contains(Point{0, 0}) || !r.Contains(Point{1, 1}) {
+		t.Error("interior points not contained")
+	}
+	if r.Contains(Point{2, 1}) || r.Contains(Point{1, 2}) {
+		t.Error("exclusive upper-right violated")
+	}
+}
+
+func TestOrientationApply(t *testing.T) {
+	// Cell 4 wide, 2 tall; corner point (1, 0).
+	p := Point{1, 0}
+	w, h := int64(4), int64(2)
+	cases := []struct {
+		o    Orientation
+		want Point
+	}{
+		{N, Point{1, 0}},
+		{S, Point{3, 2}},
+		{FN, Point{3, 0}},
+		{FS, Point{1, 2}},
+		{E, Point{2, 1}},
+		{W, Point{0, 3}},
+		{FE, Point{0, 1}},
+		{FW, Point{2, 3}},
+	}
+	for _, c := range cases {
+		if got := c.o.Apply(p, w, h); got != c.want {
+			t.Errorf("%v.Apply = %v, want %v", c.o, got, c.want)
+		}
+	}
+}
+
+func TestOrientationSwapsAndString(t *testing.T) {
+	for _, o := range []Orientation{E, W, FE, FW} {
+		if !o.Swaps() {
+			t.Errorf("%v should swap", o)
+		}
+	}
+	for _, o := range []Orientation{N, S, FN, FS} {
+		if o.Swaps() {
+			t.Errorf("%v should not swap", o)
+		}
+	}
+	if N.String() != "N" || FW.String() != "FW" {
+		t.Error("orientation names wrong")
+	}
+	if Orientation(99).String() == "" {
+		t.Error("out-of-range orientation name empty")
+	}
+}
+
+// Property: applying S twice is the identity (180° rotation is an
+// involution), as is each flip.
+func TestOrientationInvolutions(t *testing.T) {
+	f := func(x, y int16, wraw, hraw uint8) bool {
+		w, h := int64(wraw)+1, int64(hraw)+1
+		p := Point{int64(x), int64(y)}
+		for _, o := range []Orientation{S, FN, FS} {
+			if o.Apply(o.Apply(p, w, h), w, h) != p {
+				return false
+			}
+		}
+		// FE (transpose) is also an involution.
+		if FE.Apply(FE.Apply(p, w, h), h, w) != p {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBBoxHPWL(t *testing.T) {
+	pts := []Point{{0, 0}, {3, 1}, {1, 4}}
+	b := BBox(pts)
+	if b != (Rect{0, 0, 4, 5}) {
+		t.Errorf("BBox = %v", b)
+	}
+	if w := HPWL(pts); w != 3+4 {
+		t.Errorf("HPWL = %d, want 7", w)
+	}
+	if HPWL(nil) != 0 || HPWL([]Point{{1, 1}}) != 0 {
+		t.Error("degenerate HPWL should be 0")
+	}
+	if !BBox(nil).Empty() {
+		t.Error("BBox of nothing should be empty")
+	}
+}
+
+func TestSnap(t *testing.T) {
+	cases := []struct {
+		v, pitch, down, up int64
+	}{
+		{7, 4, 4, 8},
+		{8, 4, 8, 8},
+		{0, 4, 0, 0},
+		{-1, 4, -4, 0},
+		{-4, 4, -4, -4},
+		{-5, 4, -8, -4},
+	}
+	for _, c := range cases {
+		if got := SnapDown(c.v, c.pitch); got != c.down {
+			t.Errorf("SnapDown(%d,%d) = %d, want %d", c.v, c.pitch, got, c.down)
+		}
+		if got := SnapUp(c.v, c.pitch); got != c.up {
+			t.Errorf("SnapUp(%d,%d) = %d, want %d", c.v, c.pitch, got, c.up)
+		}
+	}
+}
+
+// Property: SnapDown(v) <= v <= SnapUp(v), both multiples of pitch,
+// within one pitch of v.
+func TestSnapProperty(t *testing.T) {
+	f := func(v int32, praw uint8) bool {
+		pitch := int64(praw%64) + 1
+		x := int64(v)
+		d, u := SnapDown(x, pitch), SnapUp(x, pitch)
+		return d <= x && x <= u && d%pitch == 0 && u%pitch == 0 &&
+			x-d < pitch && u-x < pitch
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

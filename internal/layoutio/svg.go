@@ -1,0 +1,121 @@
+// Package layoutio renders flow results — the placed floorplan and
+// the global routes — as standalone SVG documents, so a layout run can
+// be inspected visually without any EDA viewer.
+package layoutio
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"primopt/internal/geom"
+	"primopt/internal/place"
+	"primopt/internal/route"
+)
+
+// layerColors cycles per routing layer.
+var layerColors = []string{
+	"#d33", "#36c", "#2a2", "#a3a", "#c80", "#088",
+}
+
+// SVGOptions controls the rendering.
+type SVGOptions struct {
+	// PixelsPerUM scales the drawing (default 50 px per µm).
+	PixelsPerUM float64
+	// Title is drawn at the top (optional).
+	Title string
+}
+
+// WriteSVG renders a placement and (optionally) its routing result.
+func WriteSVG(pl *place.Placement, routing *route.Result, opts SVGOptions) (string, error) {
+	if pl == nil || len(pl.Pos) == 0 {
+		return "", fmt.Errorf("layoutio: empty placement")
+	}
+	scale := opts.PixelsPerUM / 1000 // px per nm
+	if scale <= 0 {
+		scale = 0.05
+	}
+	bbox := pl.BBox
+	if routing != nil {
+		for _, nr := range routing.Nets {
+			for _, s := range nr.Segments {
+				bbox = bbox.Union(geom.NewRect(s.From.X, s.From.Y, s.To.X+1, s.To.Y+1))
+			}
+		}
+	}
+	margin := 40.0
+	w := float64(bbox.W())*scale + 2*margin
+	h := float64(bbox.H())*scale + 2*margin
+
+	// SVG y grows downward; flip so layout y grows upward.
+	x := func(v int64) float64 { return margin + float64(v-bbox.X0)*scale }
+	y := func(v int64) float64 { return h - margin - float64(v-bbox.Y0)*scale }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	if opts.Title != "" {
+		fmt.Fprintf(&b, `<text x="%.0f" y="20" font-family="monospace" font-size="14">%s</text>`+"\n",
+			margin, escape(opts.Title))
+	}
+
+	// Blocks, in deterministic order.
+	names := make([]string, 0, len(pl.Pos))
+	for n := range pl.Pos {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := pl.Pos[name]
+		fmt.Fprintf(&b,
+			`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#eee" stroke="#444" stroke-width="1"/>`+"\n",
+			x(r.X0), y(r.Y1), float64(r.W())*scale, float64(r.H())*scale)
+		cx, cy := x(r.Center().X), y(r.Center().Y)
+		fmt.Fprintf(&b,
+			`<text x="%.1f" y="%.1f" font-family="monospace" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			cx, cy, escape(name))
+	}
+
+	// Routes, colored by layer.
+	if routing != nil {
+		netNames := make([]string, 0, len(routing.Nets))
+		for n := range routing.Nets {
+			netNames = append(netNames, n)
+		}
+		sort.Strings(netNames)
+		for _, nn := range netNames {
+			for _, s := range routing.Nets[nn].Segments {
+				color := layerColors[int(s.Layer)%len(layerColors)]
+				fmt.Fprintf(&b,
+					`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2" stroke-opacity="0.7"/>`+"\n",
+					x(s.From.X), y(s.From.Y), x(s.To.X), y(s.To.Y), color)
+			}
+		}
+		// Legend.
+		used := map[int]bool{}
+		for _, nr := range routing.Nets {
+			for l := range nr.LengthByLayer {
+				used[int(l)] = true
+			}
+		}
+		layers := make([]int, 0, len(used))
+		for l := range used {
+			layers = append(layers, l)
+		}
+		sort.Ints(layers)
+		lx := margin
+		for _, l := range layers {
+			color := layerColors[l%len(layerColors)]
+			fmt.Fprintf(&b, `<rect x="%.0f" y="%.0f" width="12" height="12" fill="%s"/>`+"\n", lx, h-24, color)
+			fmt.Fprintf(&b, `<text x="%.0f" y="%.0f" font-family="monospace" font-size="11">M%d</text>`+"\n", lx+16, h-14, l+1)
+			lx += 60
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

@@ -1,0 +1,203 @@
+package numeric
+
+import "math"
+
+// Curve utilities for the tuning/port-optimization stopping rules.
+// The paper stops wire-width sweeps either at the cost minimum, or —
+// for monotonically decreasing cost — at the point of maximum
+// curvature (the "knee"), beyond which extra parallel wires buy
+// little. Sample points are the integer wire counts 1, 2, 3, ...
+
+// ArgMin returns the index of the smallest value in ys (first on ties)
+// and that value. It panics on an empty slice.
+func ArgMin(ys []float64) (int, float64) {
+	if len(ys) == 0 {
+		panic("numeric: ArgMin of empty slice")
+	}
+	bi, bv := 0, ys[0]
+	for i, v := range ys[1:] {
+		if v < bv {
+			bi, bv = i+1, v
+		}
+	}
+	return bi, bv
+}
+
+// IsMonotoneDecreasing reports whether ys is non-increasing to within
+// tolerance tol (relative to the overall range).
+func IsMonotoneDecreasing(ys []float64, tol float64) bool {
+	if len(ys) < 2 {
+		return true
+	}
+	lo, hi := ys[0], ys[0]
+	for _, v := range ys {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	eps := (hi - lo) * tol
+	for i := 1; i < len(ys); i++ {
+		if ys[i] > ys[i-1]+eps {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxCurvatureIndex returns the index of maximum discrete curvature of
+// the sequence ys sampled at unit spacing, using the standard
+// second-difference curvature estimate
+//
+//	kappa_i = |y[i-1] - 2 y[i] + y[i+1]| / (1 + ((y[i+1]-y[i-1])/2)^2)^(3/2)
+//
+// computed on values normalized to [0, 1] so the result is scale-free.
+// Endpoints cannot carry curvature; for fewer than 3 points the last
+// index is returned.
+func MaxCurvatureIndex(ys []float64) int {
+	n := len(ys)
+	if n < 3 {
+		return n - 1
+	}
+	lo, hi := ys[0], ys[0]
+	for _, v := range ys {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	span := hi - lo
+	if span == 0 {
+		return 0
+	}
+	norm := make([]float64, n)
+	for i, v := range ys {
+		norm[i] = (v - lo) / span
+	}
+	// Unit x spacing normalized over the same span keeps curvature
+	// comparable across sweep lengths.
+	dx := 1.0 / float64(n-1)
+	best, bi := -1.0, 1
+	for i := 1; i < n-1; i++ {
+		d2 := norm[i-1] - 2*norm[i] + norm[i+1]
+		d1 := (norm[i+1] - norm[i-1]) / 2
+		k := math.Abs(d2/(dx*dx)) / math.Pow(1+(d1/dx)*(d1/dx), 1.5)
+		if k > best {
+			best, bi = k, i
+		}
+	}
+	return bi
+}
+
+// KneeIndex returns the stopping index for a cost sweep per the
+// paper's rule: the global minimum if the curve has an interior
+// minimum, otherwise (monotonically decreasing curve) the knee —
+// realized as the first point whose cost is within tolerance of the
+// eventual floor, i.e. where further increases buy almost nothing.
+// (A raw maximum-curvature rule misfires on steep 1/n-shaped cost
+// curves, stopping while the cost is still falling fast.)
+func KneeIndex(ys []float64) int {
+	if len(ys) == 0 {
+		return 0
+	}
+	if IsMonotoneDecreasing(ys, 1e-9) {
+		return WithinOfMinIndex(ys, 0.05)
+	}
+	i, _ := ArgMin(ys)
+	return i
+}
+
+// WithinOfMinIndex returns the first index whose value is within
+// rel (relative) of the minimum of ys.
+func WithinOfMinIndex(ys []float64, rel float64) int {
+	if len(ys) == 0 {
+		return 0
+	}
+	_, minV := ArgMin(ys)
+	thresh := minV * (1 + rel)
+	if minV <= 0 {
+		thresh = minV + rel
+	}
+	for i, v := range ys {
+		if v <= thresh {
+			return i
+		}
+	}
+	return len(ys) - 1
+}
+
+// Linspace returns n points from a to b inclusive.
+func Linspace(a, b float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{a}
+	}
+	out := make([]float64, n)
+	step := (b - a) / float64(n-1)
+	for i := range out {
+		out[i] = a + float64(i)*step
+	}
+	out[n-1] = b
+	return out
+}
+
+// Logspace returns n log-spaced points from a to b inclusive; a and b
+// must be positive.
+func Logspace(a, b float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{a}
+	}
+	la, lb := math.Log10(a), math.Log10(b)
+	out := make([]float64, n)
+	step := (lb - la) / float64(n-1)
+	for i := range out {
+		out[i] = math.Pow(10, la+float64(i)*step)
+	}
+	out[n-1] = b
+	return out
+}
+
+// InterpLinear evaluates the piecewise-linear interpolant through
+// (xs, ys) at x, clamping outside the range. xs must be ascending.
+func InterpLinear(xs, ys []float64, x float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if x <= xs[0] {
+		return ys[0]
+	}
+	if x >= xs[n-1] {
+		return ys[n-1]
+	}
+	// Binary search for the bracketing interval.
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if xs[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	t := (x - xs[lo]) / (xs[hi] - xs[lo])
+	return ys[lo] + t*(ys[hi]-ys[lo])
+}
+
+// CrossingLinear returns the x where the piecewise-linear curve
+// (xs, ys) first crosses level y going in either direction, and true;
+// or 0, false when it never crosses. xs must be ascending.
+func CrossingLinear(xs, ys []float64, y float64) (float64, bool) {
+	for i := 1; i < len(xs); i++ {
+		y0, y1 := ys[i-1], ys[i]
+		if (y0-y)*(y1-y) <= 0 && y0 != y1 {
+			t := (y - y0) / (y1 - y0)
+			return xs[i-1] + t*(xs[i]-xs[i-1]), true
+		}
+		if y0 == y {
+			return xs[i-1], true
+		}
+	}
+	return 0, false
+}

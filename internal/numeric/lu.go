@@ -1,0 +1,321 @@
+// Package numeric provides the small dense linear-algebra kernel used
+// by the MNA circuit simulator (real and complex LU factorization with
+// partial pivoting) together with curve utilities used by the
+// primitive-tuning stopping rules (discrete curvature, monotonicity).
+//
+// Circuit matrices here are tiny (tens of nodes), so dense LU with
+// partial pivoting is both simpler and faster than sparse machinery.
+package numeric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// ErrSingular is returned when factorization meets a pivot that is
+// exactly zero or numerically negligible relative to the matrix scale.
+var ErrSingular = errors.New("numeric: singular matrix")
+
+// Matrix is a dense, row-major real matrix.
+type Matrix struct {
+	N    int
+	Data []float64 // len N*N
+}
+
+// NewMatrix returns an n×n zero matrix.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.N+j] = v }
+
+// Add accumulates v into element (i, j) — the MNA "stamp" operation.
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.N+j] += v }
+
+// Zero clears all elements, preserving the allocation.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.N)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := ""
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			s += fmt.Sprintf("%12.4e ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// LU holds an in-place LU factorization with partial pivoting of a
+// real matrix: PA = LU.
+type LU struct {
+	n    int
+	lu   []float64
+	piv  []int
+	sign int
+}
+
+// Factor computes the LU factorization of m. m is not modified.
+func Factor(m *Matrix) (*LU, error) {
+	n := m.N
+	f := &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), sign: 1}
+	copy(f.lu, m.Data)
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	// Scale reference for the singularity threshold.
+	maxAbs := 0.0
+	for _, v := range f.lu {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	tiny := maxAbs * 1e-15
+	if tiny == 0 {
+		return nil, ErrSingular
+	}
+	a := f.lu
+	for k := 0; k < n; k++ {
+		// Partial pivoting: find the largest |a[i][k]| for i >= k.
+		p := k
+		best := math.Abs(a[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(a[i*n+k]); v > best {
+				best = v
+				p = i
+			}
+		}
+		if best <= tiny {
+			return nil, fmt.Errorf("%w: pivot %d (%.3e)", ErrSingular, k, best)
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				a[p*n+j], a[k*n+j] = a[k*n+j], a[p*n+j]
+			}
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+			f.sign = -f.sign
+		}
+		inv := 1 / a[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := a[i*n+k] * inv
+			a[i*n+k] = l
+			if l == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				a[i*n+j] -= l * a[k*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves Ax = b using the factorization, writing the result into
+// x (which may alias b). len(b) and len(x) must equal N.
+func (f *LU) Solve(b, x []float64) {
+	n := f.n
+	// Apply permutation into x.
+	tmp := make([]float64, n)
+	for i := 0; i < n; i++ {
+		tmp[i] = b[f.piv[i]]
+	}
+	a := f.lu
+	// Forward substitution (L has unit diagonal).
+	for i := 1; i < n; i++ {
+		s := tmp[i]
+		for j := 0; j < i; j++ {
+			s -= a[i*n+j] * tmp[j]
+		}
+		tmp[i] = s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := tmp[i]
+		for j := i + 1; j < n; j++ {
+			s -= a[i*n+j] * tmp[j]
+		}
+		tmp[i] = s / a[i*n+i]
+	}
+	copy(x, tmp)
+}
+
+// SolveLinear is a convenience that factors m and solves mx = b.
+func SolveLinear(m *Matrix, b []float64) ([]float64, error) {
+	f, err := Factor(m)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, m.N)
+	f.Solve(b, x)
+	return x, nil
+}
+
+// Det returns the determinant from the factorization.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu[i*f.n+i]
+	}
+	return d
+}
+
+// CMatrix is a dense, row-major complex matrix used by AC analysis.
+type CMatrix struct {
+	N    int
+	Data []complex128
+}
+
+// NewCMatrix returns an n×n zero complex matrix.
+func NewCMatrix(n int) *CMatrix {
+	return &CMatrix{N: n, Data: make([]complex128, n*n)}
+}
+
+// At returns element (i, j).
+func (m *CMatrix) At(i, j int) complex128 { return m.Data[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m *CMatrix) Set(i, j int, v complex128) { m.Data[i*m.N+j] = v }
+
+// Add accumulates v into element (i, j).
+func (m *CMatrix) Add(i, j int, v complex128) { m.Data[i*m.N+j] += v }
+
+// Zero clears all elements, preserving the allocation.
+func (m *CMatrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// CLU is the complex analogue of LU.
+type CLU struct {
+	n   int
+	lu  []complex128
+	piv []int
+}
+
+// FactorC computes the complex LU factorization of m with partial
+// pivoting on magnitude. m is not modified.
+func FactorC(m *CMatrix) (*CLU, error) {
+	n := m.N
+	f := &CLU{n: n, lu: make([]complex128, n*n), piv: make([]int, n)}
+	copy(f.lu, m.Data)
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	maxAbs := 0.0
+	for _, v := range f.lu {
+		if a := cmplx.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	tiny := maxAbs * 1e-15
+	if tiny == 0 {
+		return nil, ErrSingular
+	}
+	a := f.lu
+	for k := 0; k < n; k++ {
+		p := k
+		best := cmplx.Abs(a[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := cmplx.Abs(a[i*n+k]); v > best {
+				best = v
+				p = i
+			}
+		}
+		if best <= tiny {
+			return nil, fmt.Errorf("%w: pivot %d (%.3e)", ErrSingular, k, best)
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				a[p*n+j], a[k*n+j] = a[k*n+j], a[p*n+j]
+			}
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+		}
+		inv := 1 / a[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := a[i*n+k] * inv
+			a[i*n+k] = l
+			if l == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				a[i*n+j] -= l * a[k*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves Ax = b for complex systems; x may alias b.
+func (f *CLU) Solve(b, x []complex128) {
+	n := f.n
+	tmp := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		tmp[i] = b[f.piv[i]]
+	}
+	a := f.lu
+	for i := 1; i < n; i++ {
+		s := tmp[i]
+		for j := 0; j < i; j++ {
+			s -= a[i*n+j] * tmp[j]
+		}
+		tmp[i] = s
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := tmp[i]
+		for j := i + 1; j < n; j++ {
+			s -= a[i*n+j] * tmp[j]
+		}
+		tmp[i] = s / a[i*n+i]
+	}
+	copy(x, tmp)
+}
+
+// SolveLinearC factors m and solves mx = b in one call.
+func SolveLinearC(m *CMatrix, b []complex128) ([]complex128, error) {
+	f, err := FactorC(m)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]complex128, m.N)
+	f.Solve(b, x)
+	return x, nil
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// NormInf returns the max-abs norm of v.
+func NormInf(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}

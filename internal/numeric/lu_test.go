@@ -1,0 +1,202 @@
+package numeric
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveIdentity(t *testing.T) {
+	n := 4
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	b := []float64{1, 2, 3, 4}
+	x, err := SolveLinear(m, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if math.Abs(x[i]-b[i]) > 1e-14 {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], b[i])
+		}
+	}
+}
+
+func TestSolveKnown2x2(t *testing.T) {
+	// [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+	m := NewMatrix(2)
+	m.Set(0, 0, 2)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 3)
+	x, err := SolveLinear(m, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveRequiresPivoting(t *testing.T) {
+	// Zero on the leading diagonal forces a row swap.
+	m := NewMatrix(2)
+	m.Set(0, 0, 0)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1)
+	m.Set(1, 1, 0)
+	x, err := SolveLinear(m, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Errorf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestSingularDetected(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 2)
+	m.Set(1, 1, 4)
+	if _, err := Factor(m); err == nil {
+		t.Fatal("want singularity error for rank-1 matrix")
+	}
+	z := NewMatrix(3)
+	if _, err := Factor(z); err == nil {
+		t.Fatal("want singularity error for zero matrix")
+	}
+}
+
+func TestDet(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 0, 3)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 4)
+	m.Set(1, 1, 2)
+	f, err := Factor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Det(); math.Abs(d-2) > 1e-12 {
+		t.Errorf("det = %g, want 2", d)
+	}
+}
+
+// Property: for random well-conditioned systems, solving then
+// multiplying back recovers b.
+func TestSolveResidualProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		n := 2 + r.Intn(12)
+		m := NewMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m.Set(i, j, r.NormFloat64())
+			}
+			m.Add(i, i, float64(n)) // diagonally dominant-ish
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, err := SolveLinear(m, b)
+		if err != nil {
+			return false
+		}
+		// Residual ||Ax - b||
+		res := 0.0
+		for i := 0; i < n; i++ {
+			s := -b[i]
+			for j := 0; j < n; j++ {
+				s += m.At(i, j) * x[j]
+			}
+			res += s * s
+		}
+		return math.Sqrt(res) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComplexSolveKnown(t *testing.T) {
+	// (1+1i) x = 2i -> x = 1+1i
+	m := NewCMatrix(1)
+	m.Set(0, 0, complex(1, 1))
+	x, err := SolveLinearC(m, []complex128{complex(0, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(x[0]-complex(1, 1)) > 1e-12 {
+		t.Errorf("x = %v, want 1+1i", x[0])
+	}
+}
+
+func TestComplexSolveResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(10)
+		m := NewCMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m.Set(i, j, complex(r.NormFloat64(), r.NormFloat64()))
+			}
+			m.Add(i, i, complex(float64(2*n), 0))
+		}
+		b := make([]complex128, n)
+		for i := range b {
+			b[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		x, err := SolveLinearC(m, b)
+		if err != nil {
+			return false
+		}
+		res := 0.0
+		for i := 0; i < n; i++ {
+			s := -b[i]
+			for j := 0; j < n; j++ {
+				s += m.At(i, j) * x[j]
+			}
+			res += real(s)*real(s) + imag(s)*imag(s)
+		}
+		return math.Sqrt(res) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveAliasing(t *testing.T) {
+	m := NewMatrix(2)
+	m.Set(0, 0, 2)
+	m.Set(1, 1, 4)
+	f, err := Factor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{2, 8}
+	f.Solve(b, b) // x aliases b
+	if math.Abs(b[0]-1) > 1e-14 || math.Abs(b[1]-2) > 1e-14 {
+		t.Errorf("aliased solve = %v, want [1 2]", b)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	v := []float64{3, -4}
+	if Norm2(v) != 5 {
+		t.Errorf("Norm2 = %g", Norm2(v))
+	}
+	if NormInf(v) != 4 {
+		t.Errorf("NormInf = %g", NormInf(v))
+	}
+	if Norm2(nil) != 0 || NormInf(nil) != 0 {
+		t.Error("norms of empty slice should be 0")
+	}
+}

@@ -1,0 +1,407 @@
+// Package optimize implements Algorithm 1 of the paper: primitive
+// layout optimization. Given a primitive, its sizing, and the bias
+// conditions from the circuit-level schematic simulation, it
+//
+//  1. (primitive selection) generates every legal layout
+//     configuration, simulates each one's performance metrics against
+//     the extracted parasitics and LDEs, computes the weighted cost of
+//     Eq. (5), bins the options by bounding-box aspect ratio, and
+//     selects the minimum-cost option per bin; and
+//  2. (primitive tuning) sweeps the parallel-wire count of each tuning
+//     terminal of the selected options — independently for
+//     uncorrelated terminals, jointly for correlated groups — stopping
+//     at the cost minimum or the point of maximum curvature for
+//     monotone curves.
+//
+// The result is the small set of high-quality layout choices, with
+// different aspect ratios, handed to the placer (Fig. 1).
+package optimize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"primopt/internal/cellgen"
+	"primopt/internal/cost"
+	"primopt/internal/extract"
+	"primopt/internal/numeric"
+	"primopt/internal/pdk"
+	"primopt/internal/primlib"
+)
+
+// Option is one evaluated layout configuration.
+type Option struct {
+	Layout *cellgen.Layout
+	Ex     *extract.Extracted
+	Eval   *primlib.Eval
+	Cost   float64 // Eq. (5), percent points
+	Values []cost.Value
+	Bin    int
+}
+
+// Params configures the optimization.
+type Params struct {
+	Bins     int // aspect-ratio bins / options handed to the placer (default 3)
+	MaxWires int // tuning sweep limit per terminal (default 8)
+	// MaxJointWires bounds each axis of a correlated-group joint
+	// enumeration (default 5).
+	MaxJointWires int
+	// Workers bounds concurrent simulations (default 8). The paper
+	// leans on the independence of the per-option simulations.
+	Workers int
+	Cons    *cellgen.Constraints
+}
+
+func (p Params) withDefaults() Params {
+	if p.Bins <= 0 {
+		p.Bins = 3
+	}
+	if p.MaxWires <= 0 {
+		p.MaxWires = 8
+	}
+	if p.MaxJointWires <= 0 {
+		p.MaxJointWires = 5
+	}
+	if p.Workers <= 0 {
+		p.Workers = 8
+	}
+	return p
+}
+
+// Result is the outcome of Algorithm 1 for one primitive.
+type Result struct {
+	Entry     *primlib.Entry
+	Sizing    primlib.Sizing
+	Bias      primlib.Bias
+	Schematic *primlib.Eval
+	Metrics   []cost.Metric
+
+	// AllOptions holds every evaluated configuration from the
+	// selection step (the paper's Table III rows), sorted by bin then
+	// cost.
+	AllOptions []Option
+
+	// Selected holds the tuned minimum-cost option per aspect-ratio
+	// bin — the choices handed to the placer.
+	Selected []Option
+
+	// TotalSims counts SPICE deck runs across all steps (Table V).
+	SelectionSims int
+	TuningSims    int
+}
+
+// TotalSims returns the overall simulation count.
+func (r *Result) TotalSims() int { return r.SelectionSims + r.TuningSims }
+
+// Best returns the lowest-cost selected option.
+func (r *Result) Best() *Option {
+	if len(r.Selected) == 0 {
+		return nil
+	}
+	best := &r.Selected[0]
+	for i := range r.Selected[1:] {
+		if r.Selected[i+1].Cost < best.Cost {
+			best = &r.Selected[i+1]
+		}
+	}
+	return best
+}
+
+// Optimize runs Algorithm 1.
+func Optimize(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bias, p Params) (*Result, error) {
+	p = p.withDefaults()
+	res := &Result{Entry: e, Sizing: sz, Bias: bias}
+
+	// Line 3 precondition: schematic reference and cost metrics.
+	sch, err := e.Evaluate(t, sz, bias, nil, nil)
+	if err != nil {
+		return nil, fmt.Errorf("optimize: schematic reference: %w", err)
+	}
+	res.Schematic = sch
+	metrics, err := e.CostMetrics(t, sz, sch)
+	if err != nil {
+		return nil, err
+	}
+	res.Metrics = metrics
+
+	// Step 1 (lines 3–7): evaluate every layout option.
+	layouts, err := e.FindLayouts(t, sz, p.Cons)
+	if err != nil {
+		return nil, err
+	}
+	opts := make([]Option, len(layouts))
+	errs := make([]error, len(layouts))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, p.Workers)
+	for i, lay := range layouts {
+		wg.Add(1)
+		go func(i int, lay *cellgen.Layout) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			opt, err := evaluateOption(t, e, sz, bias, metrics, lay)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			opts[i] = *opt
+		}(i, lay)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("optimize: selection: %w", err)
+		}
+	}
+	for i := range opts {
+		res.SelectionSims += opts[i].Eval.Sims
+	}
+
+	// Line 6: aspect-ratio binning (log scale).
+	assignBins(opts, p.Bins)
+	sort.SliceStable(opts, func(i, j int) bool {
+		if opts[i].Bin != opts[j].Bin {
+			return opts[i].Bin < opts[j].Bin
+		}
+		return opts[i].Cost < opts[j].Cost
+	})
+	res.AllOptions = opts
+
+	// Line 7: minimum-cost option per bin.
+	var selected []Option
+	seen := map[int]bool{}
+	for _, o := range opts {
+		if !seen[o.Bin] {
+			seen[o.Bin] = true
+			selected = append(selected, o)
+		}
+	}
+
+	// Step 2 (lines 8–15): tuning each selected option.
+	for i := range selected {
+		sims, err := tuneOption(t, e, sz, bias, metrics, &selected[i], p)
+		if err != nil {
+			return nil, fmt.Errorf("optimize: tuning %s: %w", selected[i].Layout.Config.ID(), err)
+		}
+		res.TuningSims += sims
+	}
+	res.Selected = selected
+	return res, nil
+}
+
+// evaluateOption extracts and simulates one layout configuration.
+func evaluateOption(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bias,
+	metrics []cost.Metric, lay *cellgen.Layout) (*Option, error) {
+	ex, err := extract.Primitive(t, lay)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := e.Evaluate(t, sz, bias, ex, nil)
+	if err != nil {
+		return nil, fmt.Errorf("config %s: %w", lay.Config.ID(), err)
+	}
+	c, vals, err := primlib.Cost(metrics, ev)
+	if err != nil {
+		return nil, err
+	}
+	return &Option{Layout: lay, Ex: ex, Eval: ev, Cost: c, Values: vals}, nil
+}
+
+// assignBins splits options into equal-width bins of log aspect ratio.
+func assignBins(opts []Option, bins int) {
+	if len(opts) == 0 {
+		return
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range opts {
+		ar := math.Log(opts[i].Layout.AspectRatio)
+		lo = math.Min(lo, ar)
+		hi = math.Max(hi, ar)
+	}
+	if hi <= lo {
+		for i := range opts {
+			opts[i].Bin = 0
+		}
+		return
+	}
+	w := (hi - lo) / float64(bins)
+	for i := range opts {
+		b := int((math.Log(opts[i].Layout.AspectRatio) - lo) / w)
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		opts[i].Bin = b
+	}
+}
+
+// tuneOption runs the tuning step on one selected option, mutating
+// its layout's wire counts and re-evaluating. Returns the number of
+// simulations spent.
+func tuneOption(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bias,
+	metrics []cost.Metric, opt *Option, p Params) (int, error) {
+	sims := 0
+	groups := correlationGroups(e.Tuning)
+	for _, group := range groups {
+		if len(group) == 1 {
+			// Lines 9–10: uncorrelated — optimize separately.
+			n, s, err := sweepTerminal(t, e, sz, bias, metrics, opt.Layout, group[0], p.MaxWires)
+			sims += s
+			if err != nil {
+				return sims, err
+			}
+			setWires(opt.Layout, group[0], n)
+		} else {
+			// Lines 11–12: correlated — enumerate combinations.
+			s, err := sweepJoint(t, e, sz, bias, metrics, opt.Layout, group, p.MaxJointWires)
+			sims += s
+			if err != nil {
+				return sims, err
+			}
+		}
+	}
+	// Re-evaluate the tuned configuration.
+	tuned, err := evaluateOption(t, e, sz, bias, metrics, opt.Layout)
+	if err != nil {
+		return sims, err
+	}
+	sims += tuned.Eval.Sims
+	tuned.Bin = opt.Bin
+	*opt = *tuned
+	return sims, nil
+}
+
+// correlationGroups partitions tuning terminals into singleton groups
+// and correlated clusters.
+func correlationGroups(terms []primlib.TuningTerm) [][]primlib.TuningTerm {
+	byName := make(map[string]primlib.TuningTerm, len(terms))
+	for _, tt := range terms {
+		byName[tt.Name] = tt
+	}
+	used := map[string]bool{}
+	var out [][]primlib.TuningTerm
+	for _, tt := range terms {
+		if used[tt.Name] {
+			continue
+		}
+		group := []primlib.TuningTerm{tt}
+		used[tt.Name] = true
+		// Follow the correlation chain (practically at most two
+		// terminals, per the paper).
+		next := tt.CorrelatedWith
+		for next != "" && !used[next] {
+			ct, ok := byName[next]
+			if !ok {
+				break
+			}
+			group = append(group, ct)
+			used[next] = true
+			next = ct.CorrelatedWith
+		}
+		out = append(out, group)
+	}
+	return out
+}
+
+// setWires applies a wire count to every cellgen wire of a terminal.
+func setWires(lay *cellgen.Layout, term primlib.TuningTerm, n int) {
+	for _, w := range term.Wires {
+		if we, ok := lay.Wires[w]; ok {
+			we.NWires = n
+		}
+	}
+}
+
+// sweepTerminal sweeps one terminal's wire count and returns the
+// chosen count per the paper's stopping rule (cost minimum, or max
+// curvature for monotone curves).
+func sweepTerminal(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bias,
+	metrics []cost.Metric, lay *cellgen.Layout, term primlib.TuningTerm, maxW int) (int, int, error) {
+	costs := make([]float64, 0, maxW)
+	sims := 0
+	orig := map[string]int{}
+	for _, w := range term.Wires {
+		if we, ok := lay.Wires[w]; ok {
+			orig[w] = we.NWires
+		}
+	}
+	defer func() {
+		for w, n := range orig {
+			lay.Wires[w].NWires = n
+		}
+	}()
+	rising := 0
+	for n := 1; n <= maxW; n++ {
+		setWires(lay, term, n)
+		opt, err := evaluateOption(t, e, sz, bias, metrics, lay)
+		if err != nil {
+			return 1, sims, err
+		}
+		sims += opt.Eval.Sims
+		costs = append(costs, opt.Cost)
+		// Early exit once the cost has clearly turned upward.
+		if n >= 2 && costs[n-1] > costs[n-2] {
+			rising++
+			if rising >= 2 {
+				break
+			}
+		} else {
+			rising = 0
+		}
+	}
+	return numeric.KneeIndex(costs) + 1, sims, nil
+}
+
+// sweepJoint enumerates wire-count combinations for a correlated
+// group and applies the best, leaving the layout at the optimum.
+func sweepJoint(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bias,
+	metrics []cost.Metric, lay *cellgen.Layout, group []primlib.TuningTerm, maxW int) (int, error) {
+	if len(group) > 2 {
+		// The paper notes more than two correlated terminals is rare;
+		// bound the enumeration by pairing the first two.
+		group = group[:2]
+	}
+	sims := 0
+	bestCost := math.Inf(1)
+	bestN := make([]int, len(group))
+	for i := range bestN {
+		bestN[i] = 1
+	}
+	idx := make([]int, len(group))
+	var rec func(k int) error
+	rec = func(k int) error {
+		if k == len(group) {
+			for gi, tt := range group {
+				setWires(lay, tt, idx[gi])
+			}
+			opt, err := evaluateOption(t, e, sz, bias, metrics, lay)
+			if err != nil {
+				return err
+			}
+			sims += opt.Eval.Sims
+			if opt.Cost < bestCost {
+				bestCost = opt.Cost
+				copy(bestN, idx)
+			}
+			return nil
+		}
+		for n := 1; n <= maxW; n++ {
+			idx[k] = n
+			if err := rec(k + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return sims, err
+	}
+	for gi, tt := range group {
+		setWires(lay, tt, bestN[gi])
+	}
+	return sims, nil
+}

@@ -1,0 +1,258 @@
+// Package pdk defines the simulated FinFET process design kit used
+// throughout the flow. The paper ran on a proprietary sub-10nm
+// commercial PDK; this package substitutes a synthetic but internally
+// consistent technology with the properties the methodology actually
+// consumes:
+//
+//   - gridded geometry (fin pitch, poly pitch, metal track pitch) so
+//     that "wider wires" are realized as counts of parallel tracks;
+//   - a multi-layer metal stack with per-layer sheet resistance and
+//     area/fringe capacitance, with resistive lower layers (the reason
+//     mesh routing and parallel wires matter in FinFET nodes);
+//   - via resistance per cut;
+//   - FinFET electrical constants (Cox, mobility, Vth) and LDE
+//     coefficients (LOD, WPE) consumed by internal/device and
+//     internal/lde.
+//
+// All lengths are nanometers; resistances ohms; capacitances farads.
+package pdk
+
+import "fmt"
+
+// Layer identifies a routing layer. Layer 0 is M1; via v(i) connects
+// layer i to layer i+1.
+type Layer int
+
+// MetalLayer describes one routing layer of the stack.
+type MetalLayer struct {
+	Name       string
+	Pitch      int64   // track pitch, nm
+	Width      int64   // default (minimum) wire width, nm
+	SheetRes   float64 // ohm/square at minimum width
+	AreaCap    float64 // F per nm^2 of wire area (to substrate/adjacent)
+	FringeCap  float64 // F per nm of wire edge length
+	Horizontal bool    // preferred routing direction
+}
+
+// Via describes the cut connecting layer i to layer i+1.
+type Via struct {
+	Res float64 // ohm per cut
+	Cap float64 // F per cut (small)
+}
+
+// Tech is the full simulated technology.
+type Tech struct {
+	Name string
+
+	// FinFET geometry.
+	FinPitch  int64 // nm between fins
+	FinHeight int64 // nm fin height
+	FinThick  int64 // nm fin thickness
+	PolyPitch int64 // nm contacted poly pitch (CPP)
+	GateL     int64 // nm nominal drawn gate length
+
+	// Electrical constants for the compact model.
+	Cox      float64 // F/nm^2 effective gate oxide capacitance
+	U0N, U0P float64 // nm^2/(V*s) low-field mobility (per nm width units)
+	VthN     float64 // V NMOS threshold
+	VthP     float64 // V PMOS threshold (magnitude)
+	LambdaN  float64 // 1/V channel-length modulation
+	LambdaP  float64
+	SSn      float64 // subthreshold slope factor n (Id ~ exp(Vgs/(n*Vt)))
+	Vdd      float64 // nominal supply
+
+	// Precision poly resistor constants.
+	PolySheetRes float64 // ohm/square
+	PolyCapDens  float64 // F/nm^2 body capacitance to substrate
+
+	// Junction/overlap capacitance constants.
+	CjArea   float64 // F/nm^2 junction area cap
+	CjPerim  float64 // F/nm junction perimeter cap
+	CovPerW  float64 // F/nm of gate width, overlap cap per side
+	DiffExt  int64   // nm diffusion extension beyond last gate (shared side: 0 extra)
+	DiffExtE int64   // nm diffusion extension at an unshared (end) diffusion
+
+	// LDE coefficients (consumed by internal/lde).
+	LODVthRef    float64 // V reference ΔVth amplitude for LOD stress
+	LODSARef     int64   // nm reference SA distance for LOD
+	LODMuFrac    float64 // fractional mobility change amplitude from LOD
+	WPEVthRef    float64 // V reference ΔVth amplitude for WPE
+	WPEDistRef   int64   // nm characteristic decay distance to well edge
+	WellMargin   int64   // nm well enclosure beyond diffusion
+	SigmaVth1F   float64 // V random Vth sigma for a single fin-finger (AVt analogue)
+	GradVthPerNm float64 // V/nm linear process gradient across the cell (drives
+	// centroid-separation mismatch; the reason common-centroid
+	// patterns exist)
+
+	Metals []MetalLayer
+	Vias   []Via // Vias[i] connects Metals[i] and Metals[i+1]
+}
+
+// Default returns the synthetic 7nm-class FinFET technology used by
+// every experiment in this repository. Values are chosen to be
+// representative of published 7nm-class numbers (fin pitch 30nm, CPP
+// 54nm, resistive M1/M2) rather than to match any real foundry.
+func Default() *Tech {
+	t := &Tech{
+		Name:      "synth7",
+		FinPitch:  30,
+		FinHeight: 42,
+		FinThick:  7,
+		PolyPitch: 54,
+		GateL:     14,
+
+		// Cox ~ 17.5 fF/um^2 = 17.5e-15 F / 1e6 nm^2.
+		Cox:  17.5e-21,
+		U0N:  4.0e16, // chosen so a 96-fin device gives mA-class currents
+		U0P:  1.6e16,
+		VthN: 0.32,
+		VthP: 0.34,
+		// Short-channel CLM at L=14nm: intrinsic gains of a few tens,
+		// matching published FinFET analog behaviour (and making drain
+		// resistance visible to the primitive metrics, as in the
+		// paper's Table IV).
+		LambdaN: 0.25,
+		LambdaP: 0.30,
+		SSn:     1.35,
+		Vdd:     0.8,
+
+		PolySheetRes: 200,
+		PolyCapDens:  0.06e-21,
+
+		CjArea:   1.1e-21,
+		CjPerim:  0.08e-18,
+		CovPerW:  0.20e-18,
+		DiffExt:  27, // shared diffusion: half CPP
+		DiffExtE: 60,
+
+		LODVthRef:    0.010,
+		LODSARef:     60,
+		LODMuFrac:    0.05,
+		WPEVthRef:    0.004,
+		WPEDistRef:   250,
+		WellMargin:   150,
+		SigmaVth1F:   0.012,
+		GradVthPerNm: 5e-8,
+
+		Metals: []MetalLayer{
+			{Name: "M1", Pitch: 40, Width: 20, SheetRes: 18.0, AreaCap: 0.045e-21, FringeCap: 0.045e-18, Horizontal: false},
+			{Name: "M2", Pitch: 40, Width: 20, SheetRes: 14.0, AreaCap: 0.042e-21, FringeCap: 0.042e-18, Horizontal: true},
+			{Name: "M3", Pitch: 44, Width: 22, SheetRes: 9.0, AreaCap: 0.040e-21, FringeCap: 0.040e-18, Horizontal: false},
+			{Name: "M4", Pitch: 48, Width: 24, SheetRes: 5.0, AreaCap: 0.038e-21, FringeCap: 0.038e-18, Horizontal: true},
+			{Name: "M5", Pitch: 64, Width: 32, SheetRes: 2.2, AreaCap: 0.035e-21, FringeCap: 0.035e-18, Horizontal: false},
+			{Name: "M6", Pitch: 80, Width: 40, SheetRes: 1.0, AreaCap: 0.032e-21, FringeCap: 0.032e-18, Horizontal: true},
+		},
+		Vias: []Via{
+			{Res: 22, Cap: 0.02e-18},
+			{Res: 16, Cap: 0.02e-18},
+			{Res: 12, Cap: 0.03e-18},
+			{Res: 8, Cap: 0.03e-18},
+			{Res: 5, Cap: 0.04e-18},
+		},
+	}
+	return t
+}
+
+// NumLayers returns the number of routing layers.
+func (t *Tech) NumLayers() int { return len(t.Metals) }
+
+// LayerByName returns the layer index for a name like "M3".
+func (t *Tech) LayerByName(name string) (Layer, error) {
+	for i, m := range t.Metals {
+		if m.Name == name {
+			return Layer(i), nil
+		}
+	}
+	return 0, fmt.Errorf("pdk: unknown layer %q", name)
+}
+
+// FinW returns the effective electrical width of a single fin in nm:
+// two sidewalls plus the top.
+func (t *Tech) FinW() float64 { return float64(2*t.FinHeight + t.FinThick) }
+
+// WireRes returns the resistance of a route of the given length on
+// layer l realized as n parallel minimum-width tracks. n < 1 is
+// treated as 1.
+func (t *Tech) WireRes(l Layer, lengthNM int64, n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	m := t.Metals[l]
+	squares := float64(lengthNM) / float64(m.Width)
+	return m.SheetRes * squares / float64(n)
+}
+
+// WireCap returns the total capacitance (area + fringe, both edges) of
+// a route of the given length on layer l realized as n parallel
+// minimum-width tracks. Parallel tracks each contribute full area and
+// fringe; this slightly overestimates inner-track fringe, which is the
+// conservative direction for the C side of the RC trade-off.
+func (t *Tech) WireCap(l Layer, lengthNM int64, n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	m := t.Metals[l]
+	area := float64(lengthNM) * float64(m.Width) * m.AreaCap
+	fringe := 2 * float64(lengthNM) * m.FringeCap
+	return float64(n) * (area + fringe)
+}
+
+// ViaRes returns the resistance of the via stack from layer a to layer
+// b with n parallel cuts at each level.
+func (t *Tech) ViaRes(a, b Layer, n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	if a > b {
+		a, b = b, a
+	}
+	r := 0.0
+	for i := a; i < b; i++ {
+		r += t.Vias[i].Res / float64(n)
+	}
+	return r
+}
+
+// ViaCap returns the capacitance of the via stack from layer a to b
+// with n parallel cuts at each level.
+func (t *Tech) ViaCap(a, b Layer, n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	if a > b {
+		a, b = b, a
+	}
+	c := 0.0
+	for i := a; i < b; i++ {
+		c += t.Vias[i].Cap * float64(n)
+	}
+	return c
+}
+
+// Validate checks internal consistency of the technology description.
+func (t *Tech) Validate() error {
+	if t.FinPitch <= 0 || t.PolyPitch <= 0 || t.GateL <= 0 {
+		return fmt.Errorf("pdk %s: non-positive geometry", t.Name)
+	}
+	if len(t.Metals) < 2 {
+		return fmt.Errorf("pdk %s: need at least 2 metal layers", t.Name)
+	}
+	if len(t.Vias) != len(t.Metals)-1 {
+		return fmt.Errorf("pdk %s: have %d vias for %d metals", t.Name, len(t.Vias), len(t.Metals))
+	}
+	for i, m := range t.Metals {
+		if m.Pitch <= 0 || m.Width <= 0 || m.Width > m.Pitch {
+			return fmt.Errorf("pdk %s: layer %s bad pitch/width", t.Name, m.Name)
+		}
+		if m.SheetRes <= 0 || m.AreaCap <= 0 || m.FringeCap <= 0 {
+			return fmt.Errorf("pdk %s: layer %s non-positive RC", t.Name, m.Name)
+		}
+		if i > 0 && m.SheetRes > t.Metals[i-1].SheetRes {
+			return fmt.Errorf("pdk %s: sheet resistance must not increase with layer (%s)", t.Name, m.Name)
+		}
+	}
+	if t.Cox <= 0 || t.U0N <= 0 || t.U0P <= 0 || t.Vdd <= 0 {
+		return fmt.Errorf("pdk %s: non-positive electrical constants", t.Name)
+	}
+	return nil
+}

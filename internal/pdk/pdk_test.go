@@ -1,0 +1,143 @@
+package pdk
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default tech invalid: %v", err)
+	}
+}
+
+func TestLayerByName(t *testing.T) {
+	tech := Default()
+	l, err := tech.LayerByName("M3")
+	if err != nil || l != 2 {
+		t.Errorf("M3 -> %d, %v", l, err)
+	}
+	if _, err := tech.LayerByName("M99"); err == nil {
+		t.Error("unknown layer accepted")
+	}
+}
+
+func TestFinW(t *testing.T) {
+	tech := Default()
+	want := float64(2*tech.FinHeight + tech.FinThick)
+	if got := tech.FinW(); got != want {
+		t.Errorf("FinW = %g, want %g", got, want)
+	}
+}
+
+func TestWireResScaling(t *testing.T) {
+	tech := Default()
+	r1 := tech.WireRes(0, 1000, 1)
+	r2 := tech.WireRes(0, 2000, 1)
+	if r2 <= r1 {
+		t.Error("resistance must grow with length")
+	}
+	rp := tech.WireRes(0, 1000, 4)
+	if rp >= r1 {
+		t.Error("parallel wires must reduce resistance")
+	}
+	if got := r1 / rp; got < 3.99 || got > 4.01 {
+		t.Errorf("4 parallel wires should quarter R, ratio %g", got)
+	}
+	// n < 1 clamps to 1.
+	if tech.WireRes(0, 1000, 0) != r1 {
+		t.Error("n=0 should behave as n=1")
+	}
+}
+
+func TestWireCapScaling(t *testing.T) {
+	tech := Default()
+	c1 := tech.WireCap(0, 1000, 1)
+	c4 := tech.WireCap(0, 1000, 4)
+	if c4/c1 < 3.99 || c4/c1 > 4.01 {
+		t.Errorf("4 parallel wires should quadruple C, ratio %g", c4/c1)
+	}
+	if tech.WireCap(0, 2000, 1) <= c1 {
+		t.Error("capacitance must grow with length")
+	}
+	// Sanity magnitude: 1 µm of M1 should be femtofarad-class (0.01–1 fF).
+	if c1 < 1e-17 || c1 > 1e-15 {
+		t.Errorf("1 µm M1 cap = %g F, outside sane range", c1)
+	}
+}
+
+func TestUpperLayersLessResistive(t *testing.T) {
+	tech := Default()
+	for l := 1; l < tech.NumLayers(); l++ {
+		lo := tech.WireRes(Layer(l-1), 10000, 1)
+		hi := tech.WireRes(Layer(l), 10000, 1)
+		if hi > lo {
+			t.Errorf("layer %d more resistive per length than layer %d", l, l-1)
+		}
+	}
+}
+
+func TestViaResCap(t *testing.T) {
+	tech := Default()
+	r13 := tech.ViaRes(0, 2, 1)
+	want := tech.Vias[0].Res + tech.Vias[1].Res
+	if r13 != want {
+		t.Errorf("ViaRes(0,2) = %g, want %g", r13, want)
+	}
+	// Symmetric in argument order.
+	if tech.ViaRes(2, 0, 1) != r13 {
+		t.Error("ViaRes not symmetric")
+	}
+	// Parallel cuts divide R.
+	if got := r13 / tech.ViaRes(0, 2, 2); got < 1.99 || got > 2.01 {
+		t.Errorf("2 cuts should halve via R, ratio %g", got)
+	}
+	// Same layer: zero.
+	if tech.ViaRes(1, 1, 1) != 0 || tech.ViaCap(1, 1, 1) != 0 {
+		t.Error("same-layer via should be free")
+	}
+	if tech.ViaCap(0, 2, 2) != 2*(tech.Vias[0].Cap+tech.Vias[1].Cap) {
+		t.Error("ViaCap cuts scaling wrong")
+	}
+}
+
+func TestValidateCatchesBrokenTech(t *testing.T) {
+	mk := func(mut func(*Tech)) *Tech {
+		tech := Default()
+		mut(tech)
+		return tech
+	}
+	bad := []*Tech{
+		mk(func(t *Tech) { t.FinPitch = 0 }),
+		mk(func(t *Tech) { t.Metals = t.Metals[:1] }),
+		mk(func(t *Tech) { t.Vias = t.Vias[:1] }),
+		mk(func(t *Tech) { t.Metals[0].Width = 0 }),
+		mk(func(t *Tech) { t.Metals[0].Width = t.Metals[0].Pitch + 1 }),
+		mk(func(t *Tech) { t.Metals[0].SheetRes = -1 }),
+		mk(func(t *Tech) { t.Metals[3].SheetRes = 100 }), // increases upward
+		mk(func(t *Tech) { t.Cox = 0 }),
+	}
+	for i, tech := range bad {
+		if err := tech.Validate(); err == nil {
+			t.Errorf("broken tech %d passed validation", i)
+		}
+	}
+}
+
+// Property: RC product of a wire is invariant under the parallel-wire
+// count (R scales 1/n, C scales n) — this is exactly the trade-off the
+// paper's tuning step explores.
+func TestParallelWireRCInvariant(t *testing.T) {
+	tech := Default()
+	f := func(lraw, nraw, lenraw uint16) bool {
+		l := Layer(int(lraw) % tech.NumLayers())
+		n := int(nraw)%8 + 1
+		length := int64(lenraw)%5000 + 100
+		rc1 := tech.WireRes(l, length, 1) * tech.WireCap(l, length, 1)
+		rcn := tech.WireRes(l, length, n) * tech.WireCap(l, length, n)
+		return rcn > rc1*0.999 && rcn < rc1*1.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

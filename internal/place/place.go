@@ -1,0 +1,358 @@
+// Package place is the simulated-annealing placer of the flow (Fig. 1,
+// based on the sequence-pair formulation of Ma et al. [18] that the
+// paper's substrate uses). Blocks are placed via a sequence pair
+// (overlap-free by construction); the annealer's move set swaps
+// blocks in either or both sequences and — the hook that makes the
+// paper's primitive-level optimization useful — switches each block
+// among the n optimized layout variants with different aspect ratios
+// that Algorithm 1 produced. Symmetry groups (matched primitives that
+// must share a horizontal axis, mirrored about a common vertical
+// axis) are honored through a penalty term that the schedule drives
+// to zero.
+package place
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"primopt/internal/geom"
+)
+
+// Variant is one layout option of a block (an Algorithm 1 output).
+type Variant struct {
+	W, H int64
+	// Tag identifies the option (e.g. the cellgen config ID).
+	Tag string
+}
+
+// Block is one placeable primitive.
+type Block struct {
+	Name     string
+	Variants []Variant
+}
+
+// Net connects named blocks (half-perimeter wirelength over block
+// centers).
+type Net struct {
+	Name   string
+	Blocks []string
+	// Weight scales the net's HPWL contribution (critical nets can be
+	// weighted up).
+	Weight float64
+}
+
+// SymPair requires blocks A and B to be mirrored about a shared
+// vertical axis at the same height.
+type SymPair struct {
+	A, B string
+}
+
+// Params tunes the annealer.
+type Params struct {
+	Seed        int64
+	Iterations  int     // moves per temperature (default 200)
+	CoolingRate float64 // default 0.93
+	StartTemp   float64 // default auto
+	WireWeight  float64 // HPWL weight vs area (default 1.0)
+	SymWeight   float64 // symmetry-violation weight (default 4.0)
+}
+
+func (p Params) withDefaults() Params {
+	if p.Iterations <= 0 {
+		p.Iterations = 200
+	}
+	if p.CoolingRate <= 0 || p.CoolingRate >= 1 {
+		p.CoolingRate = 0.93
+	}
+	if p.WireWeight <= 0 {
+		p.WireWeight = 1.0
+	}
+	if p.SymWeight <= 0 {
+		p.SymWeight = 4.0
+	}
+	return p
+}
+
+// Placement is the placer output.
+type Placement struct {
+	Pos     map[string]geom.Rect // placed bounding box per block
+	Variant map[string]int       // chosen variant index per block
+	BBox    geom.Rect
+	HPWL    int64
+	SymErr  float64 // residual symmetry violation, nm
+}
+
+// state is the annealer's internal representation.
+type state struct {
+	blocks []Block
+	nets   []Net
+	sym    []SymPair
+	gammaP []int // sequence pair Γ+
+	gammaM []int // sequence pair Γ-
+	varIx  []int
+	index  map[string]int
+}
+
+// Place runs the annealer and returns the best placement found.
+func Place(blocks []Block, nets []Net, sym []SymPair, p Params) (*Placement, error) {
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("place: no blocks")
+	}
+	p = p.withDefaults()
+	st := &state{blocks: blocks, nets: nets, sym: sym, index: map[string]int{}}
+	for i, b := range blocks {
+		if len(b.Variants) == 0 {
+			return nil, fmt.Errorf("place: block %s has no variants", b.Name)
+		}
+		if _, dup := st.index[b.Name]; dup {
+			return nil, fmt.Errorf("place: duplicate block %s", b.Name)
+		}
+		st.index[b.Name] = i
+		st.gammaP = append(st.gammaP, i)
+		st.gammaM = append(st.gammaM, i)
+		st.varIx = append(st.varIx, 0)
+	}
+	for _, n := range nets {
+		for _, bn := range n.Blocks {
+			if _, ok := st.index[bn]; !ok {
+				return nil, fmt.Errorf("place: net %s references unknown block %s", n.Name, bn)
+			}
+		}
+	}
+	for _, sp := range sym {
+		if _, ok := st.index[sp.A]; !ok {
+			return nil, fmt.Errorf("place: symmetry pair references unknown block %s", sp.A)
+		}
+		if _, ok := st.index[sp.B]; !ok {
+			return nil, fmt.Errorf("place: symmetry pair references unknown block %s", sp.B)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(p.Seed))
+	cur := st.evaluate(p)
+	best := cur
+	bestSnap := st.snapshot()
+
+	temp := p.StartTemp
+	if temp <= 0 {
+		temp = cur.cost * 0.5
+		if temp <= 0 {
+			temp = 1
+		}
+	}
+	n := len(blocks)
+	for ; temp > cur.cost*1e-4+1e-9; temp *= p.CoolingRate {
+		for it := 0; it < p.Iterations; it++ {
+			undo := st.randomMove(rng, n)
+			next := st.evaluate(p)
+			d := next.cost - cur.cost
+			if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
+				cur = next
+				if cur.cost < best.cost {
+					best = cur
+					bestSnap = st.snapshot()
+				}
+			} else {
+				undo()
+			}
+		}
+		if temp < 1e-6 {
+			break
+		}
+	}
+	st.restore(bestSnap)
+	return st.placement(p), nil
+}
+
+type evalResult struct {
+	cost float64
+}
+
+type snapshot struct {
+	gammaP, gammaM, varIx []int
+}
+
+func (st *state) snapshot() snapshot {
+	return snapshot{
+		gammaP: append([]int(nil), st.gammaP...),
+		gammaM: append([]int(nil), st.gammaM...),
+		varIx:  append([]int(nil), st.varIx...),
+	}
+}
+
+func (st *state) restore(s snapshot) {
+	copy(st.gammaP, s.gammaP)
+	copy(st.gammaM, s.gammaM)
+	copy(st.varIx, s.varIx)
+}
+
+// randomMove perturbs the state and returns an undo closure.
+func (st *state) randomMove(rng *rand.Rand, n int) func() {
+	kind := rng.Intn(4)
+	if n == 1 {
+		kind = 3
+	}
+	switch kind {
+	case 0: // swap two blocks in Γ+
+		i, j := rng.Intn(n), rng.Intn(n)
+		st.gammaP[i], st.gammaP[j] = st.gammaP[j], st.gammaP[i]
+		return func() { st.gammaP[i], st.gammaP[j] = st.gammaP[j], st.gammaP[i] }
+	case 1: // swap two blocks in Γ-
+		i, j := rng.Intn(n), rng.Intn(n)
+		st.gammaM[i], st.gammaM[j] = st.gammaM[j], st.gammaM[i]
+		return func() { st.gammaM[i], st.gammaM[j] = st.gammaM[j], st.gammaM[i] }
+	case 2: // swap in both (relocation)
+		i, j := rng.Intn(n), rng.Intn(n)
+		st.gammaP[i], st.gammaP[j] = st.gammaP[j], st.gammaP[i]
+		k, l := st.findM(st.gammaP[i]), st.findM(st.gammaP[j])
+		st.gammaM[k], st.gammaM[l] = st.gammaM[l], st.gammaM[k]
+		return func() {
+			st.gammaM[k], st.gammaM[l] = st.gammaM[l], st.gammaM[k]
+			st.gammaP[i], st.gammaP[j] = st.gammaP[j], st.gammaP[i]
+		}
+	default: // change a block's variant
+		b := rng.Intn(n)
+		old := st.varIx[b]
+		nv := len(st.blocks[b].Variants)
+		st.varIx[b] = rng.Intn(nv)
+		return func() { st.varIx[b] = old }
+	}
+}
+
+func (st *state) findM(block int) int {
+	for i, b := range st.gammaM {
+		if b == block {
+			return i
+		}
+	}
+	return -1
+}
+
+// coordinates computes block positions from the sequence pair via
+// longest-path accumulation.
+func (st *state) coordinates() []geom.Rect {
+	n := len(st.blocks)
+	posP := make([]int, n) // position of block in Γ+
+	posM := make([]int, n)
+	for i, b := range st.gammaP {
+		posP[b] = i
+	}
+	for i, b := range st.gammaM {
+		posM[b] = i
+	}
+	w := make([]int64, n)
+	h := make([]int64, n)
+	for i := range st.blocks {
+		v := st.blocks[i].Variants[st.varIx[i]]
+		w[i], h[i] = v.W, v.H
+	}
+	x := make([]int64, n)
+	y := make([]int64, n)
+	// Left-of: a before b in both sequences. Below: a after b in Γ+
+	// and before in Γ-. O(n^2) passes suffice at primitive counts.
+	for changed := true; changed; {
+		changed = false
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if a == b {
+					continue
+				}
+				if posP[a] < posP[b] && posM[a] < posM[b] {
+					if x[a]+w[a] > x[b] {
+						x[b] = x[a] + w[a]
+						changed = true
+					}
+				}
+				if posP[a] > posP[b] && posM[a] < posM[b] {
+					if y[a]+h[a] > y[b] {
+						y[b] = y[a] + h[a]
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	out := make([]geom.Rect, n)
+	for i := range out {
+		out[i] = geom.Rect{X0: x[i], Y0: y[i], X1: x[i] + w[i], Y1: y[i] + h[i]}
+	}
+	return out
+}
+
+// evaluate computes the annealing cost of the current state.
+func (st *state) evaluate(p Params) evalResult {
+	rects := st.coordinates()
+	var bbox geom.Rect
+	for _, r := range rects {
+		bbox = bbox.Union(r)
+	}
+	area := float64(bbox.Area())
+	wl := 0.0
+	for _, net := range st.nets {
+		wt := net.Weight
+		if wt <= 0 {
+			wt = 1
+		}
+		pts := make([]geom.Point, 0, len(net.Blocks))
+		for _, bn := range net.Blocks {
+			pts = append(pts, rects[st.index[bn]].Center())
+		}
+		wl += wt * float64(geom.HPWL(pts))
+	}
+	symErr := st.symViolation(rects)
+	// Normalize: area in (nm^2) dominates numerically; scale wire and
+	// symmetry terms to comparable magnitude via sqrt(area).
+	scale := math.Sqrt(area) + 1
+	return evalResult{cost: area + p.WireWeight*wl*scale/100 + p.SymWeight*symErr*scale/10}
+}
+
+// symViolation measures how far each symmetry pair is from mirrored
+// placement: vertical-axis consistency across pairs plus y alignment.
+func (st *state) symViolation(rects []geom.Rect) float64 {
+	if len(st.sym) == 0 {
+		return 0
+	}
+	// All pairs share one axis: use the mean of pair midpoints.
+	axis := 0.0
+	for _, sp := range st.sym {
+		ra := rects[st.index[sp.A]]
+		rb := rects[st.index[sp.B]]
+		axis += float64(ra.Center().X+rb.Center().X) / 2
+	}
+	axis /= float64(len(st.sym))
+	viol := 0.0
+	for _, sp := range st.sym {
+		ra := rects[st.index[sp.A]]
+		rb := rects[st.index[sp.B]]
+		// Mirror distance mismatch about the common axis.
+		da := axis - float64(ra.Center().X)
+		db := float64(rb.Center().X) - axis
+		viol += math.Abs(da - db)
+		// Y alignment.
+		viol += math.Abs(float64(ra.Y0 - rb.Y0))
+	}
+	return viol
+}
+
+// placement renders the current state as the output structure.
+func (st *state) placement(p Params) *Placement {
+	rects := st.coordinates()
+	out := &Placement{Pos: map[string]geom.Rect{}, Variant: map[string]int{}}
+	var bbox geom.Rect
+	for i, b := range st.blocks {
+		out.Pos[b.Name] = rects[i]
+		out.Variant[b.Name] = st.varIx[i]
+		bbox = bbox.Union(rects[i])
+	}
+	out.BBox = bbox
+	for _, net := range st.nets {
+		pts := make([]geom.Point, 0, len(net.Blocks))
+		for _, bn := range net.Blocks {
+			pts = append(pts, rects[st.index[bn]].Center())
+		}
+		out.HPWL += geom.HPWL(pts)
+	}
+	out.SymErr = st.symViolation(rects)
+	return out
+}

@@ -1,0 +1,669 @@
+package primlib
+
+import (
+	"fmt"
+	"math"
+
+	"primopt/internal/cellgen"
+	"primopt/internal/cost"
+	"primopt/internal/extract"
+	"primopt/internal/lde"
+	"primopt/internal/pdk"
+	"primopt/internal/spice"
+)
+
+// Measurement frequencies: transconductances are read in the flat
+// low-frequency region; node capacitances at a frequency where ωC
+// dominates the device output conductance.
+const (
+	fGm  = 1e6
+	fCap = 1e7
+)
+
+// capFromVrVi converts the complex node voltage under a 1 A AC
+// current drive into the node capacitance: Y = 1/V, C = Im(Y)/ω =
+// -Im(V)/(|V|²·ω). Using the imaginary part cancels the device
+// output-conductance contribution that a magnitude-only reading would
+// fold in. The measurement frequency is chosen so ωC dominates gds
+// while ωRC of the wire network stays small.
+func capFromVrVi(vr, vi float64) (float64, error) {
+	den := (vr*vr + vi*vi) * 2 * math.Pi * fCap
+	if den == 0 {
+		return 0, fmt.Errorf("primlib: zero response in capacitance testbench")
+	}
+	c := -vi / den
+	if c <= 0 {
+		return 0, fmt.Errorf("primlib: non-capacitive response (C = %g)", c)
+	}
+	return c, nil
+}
+
+// canonicalConfig is the layout-free geometry used for schematic
+// reference simulations: one full-width stripe.
+func canonicalConfig(sz Sizing) cellgen.Config {
+	return cellgen.Config{NFin: sz.TotalFins, NF: 1, M: 1, Pattern: cellgen.PatA}
+}
+
+// Evaluate runs the entry's metric testbenches. ex == nil gives the
+// schematic reference (no parasitics, no LDEs). routes, when present,
+// adds external global-route RC beyond the named ports (keyed by the
+// cellgen wire name) — the primitive port optimization view.
+func (e *Entry) Evaluate(t *pdk.Tech, sz Sizing, bias Bias, ex *extract.Extracted,
+	routes map[string]extract.Route) (*Eval, error) {
+	cfg := canonicalConfig(sz)
+	if ex != nil {
+		cfg = ex.Layout.Config
+	}
+	switch e.Family {
+	case "diffpair":
+		return evalDiffPair(e, t, sz, bias, cfg, ex, routes)
+	case "diffpair_cascode":
+		return evalDiffPairCascode(e, t, sz, bias, cfg, ex, routes)
+	case "cmirror":
+		return evalCMirror(e, t, sz, bias, cfg, ex, routes)
+	case "csource":
+		return evalCSource(e, t, sz, bias, cfg, ex, routes)
+	case "csamp":
+		return evalCSAmp(e, t, sz, bias, cfg, ex, routes)
+	case "csinv":
+		return evalCSInv(e, t, sz, bias, cfg, ex, routes)
+	case "cap":
+		if ex == nil {
+			return capSchematicEval(sz), nil
+		}
+		return evalCap(e, t, sz, bias, ex, routes)
+	case "res":
+		if ex == nil {
+			return resSchematicEval(t, sz), nil
+		}
+		return evalRes(e, t, sz, bias, ex, routes)
+	default:
+		return nil, fmt.Errorf("primlib: no evaluator for family %q", e.Family)
+	}
+}
+
+// CostMetrics builds the cost metrics for this entry from a schematic
+// reference evaluation. The offset spec is 10% of the random offset
+// (paper Section III), everything else references the schematic
+// value.
+func (e *Entry) CostMetrics(t *pdk.Tech, sz Sizing, schematic *Eval) ([]cost.Metric, error) {
+	out := make([]cost.Metric, 0, len(e.Metrics))
+	for _, ms := range e.Metrics {
+		m := cost.Metric{Name: ms.Name, Weight: ms.Weight}
+		if ms.Name == "offset" {
+			m.Schematic = 0
+			m.Spec = 0.1 * lde.RandomOffsetSigma(t, sz.TotalFins)
+		} else {
+			v, ok := schematic.Values[ms.Name]
+			if !ok {
+				return nil, fmt.Errorf("primlib: schematic eval missing metric %q", ms.Name)
+			}
+			m.Schematic = v
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Cost evaluates Eq. (5) for a layout evaluation against metrics.
+func Cost(metrics []cost.Metric, ev *Eval) (float64, []cost.Value, error) {
+	vals := make([]cost.Value, 0, len(metrics))
+	for _, m := range metrics {
+		v, ok := ev.Values[m.Name]
+		if !ok {
+			return 0, nil, fmt.Errorf("primlib: evaluation missing metric %q", m.Name)
+		}
+		vals = append(vals, cost.Evaluate(m, v))
+	}
+	return cost.Total(vals), vals, nil
+}
+
+func run(t *pdk.Tech, deck string) (*spice.Results, error) {
+	res, _, err := spice.RunSource(t, deck)
+	return res, err
+}
+
+// --- differential pair family ---
+
+func evalDiffPair(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config,
+	ex *extract.Extracted, routes map[string]extract.Route) (*Eval, error) {
+	ev := &Eval{Values: make(map[string]float64)}
+	// PMOS pairs (cross-coupled latch loads) mirror to the supply
+	// rail: bulk and tail at vdd, tail current drawn from the rail.
+	isP := e.MOSType.String() == "PMOS"
+	rail := "0"
+	if isP {
+		rail = "vdd"
+	}
+	header := func(b *tb) {
+		if isP {
+			b.f("vdd vdd 0 DC %.6g", bias.Vdd)
+		}
+		b.mos("a", e, sz, 0, cfg, b.dev("d_a"), b.dev("g_a"), b.dev("s_a"), rail)
+		b.mos("b", e, sz, 1, cfg, b.dev("d_b"), b.dev("g_b"), b.dev("s_b"), rail)
+		// Per-side source straps join at the common spine tap.
+		b.f("rtsa %s %s 1e-3", b.port("s_a"), b.dev("s"))
+		b.f("rtsb %s %s 1e-3", b.port("s_b"), b.dev("s"))
+	}
+	tail := func(b *tb) {
+		if isP {
+			b.f("ita vdd %s DC %.6g", b.outer("s"), bias.ITail)
+		} else {
+			b.f("ita %s 0 DC %.6g", b.outer("s"), bias.ITail)
+		}
+	}
+
+	// Testbench 1: Gm (Fig. 4) — differential AC drive, drains held,
+	// AC drain current read through the drain voltage source.
+	b := newTB(t, "dp gm testbench", ex, routes)
+	header(b)
+	b.f("vga %s 0 DC %.6g AC 0.5", b.outer("g_a"), bias.VCM)
+	b.f("vgb %s 0 DC %.6g AC 0.5 180", b.outer("g_b"), bias.VCM)
+	b.f("vda %s 0 DC %.6g", b.outer("d_a"), bias.VD)
+	b.f("vdb %s 0 DC %.6g", b.outer("d_b"), bias.VD)
+	tail(b)
+	b.f(".ac dec 5 1e5 1e7")
+	b.f(".measure ac gmhalf find i(vda) at=%g", fGm)
+	res, err := run(t, b.String())
+	if err != nil {
+		return nil, fmt.Errorf("dp gm testbench: %w", err)
+	}
+	ev.Sims++
+	gm := 2 * res.Measures["gmhalf"]
+	ev.Values["Gm"] = gm
+
+	// Testbench 2: Ctotal at the drain — AC current drive, DC bias
+	// through an inductor, C = 1/(ω·|V|) in the capacitive region.
+	b = newTB(t, "dp ctotal testbench", ex, routes)
+	header(b)
+	b.f("vga %s 0 DC %.6g", b.outer("g_a"), bias.VCM)
+	b.f("vgb %s 0 DC %.6g", b.outer("g_b"), bias.VCM)
+	b.f("vdb %s 0 DC %.6g", b.outer("d_b"), bias.VD)
+	tail(b)
+	b.f("ix 0 %s AC 1", b.outer("d_a"))
+	b.capBiasInductor("da", b.outer("d_a"), bias.VD)
+	if bias.CLoad > 0 {
+		b.f("cext %s 0 %.6g", b.outer("d_a"), bias.CLoad)
+	}
+	b.f(".ac dec 5 1e6 1e8")
+	b.f(".measure ac vre find vr(%s) at=%g", b.outer("d_a"), fCap)
+	b.f(".measure ac vim find vi(%s) at=%g", b.outer("d_a"), fCap)
+	res, err = run(t, b.String())
+	if err != nil {
+		return nil, fmt.Errorf("dp ctotal testbench: %w", err)
+	}
+	ev.Sims++
+	ct, err := capFromVrVi(res.Measures["vre"], res.Measures["vim"])
+	if err != nil {
+		return nil, fmt.Errorf("dp ctotal testbench: %w", err)
+	}
+	ev.Values["Ctotal"] = ct
+	if ct > 0 {
+		ev.Values["Gm/Ctotal"] = gm / ct
+	}
+
+	// Testbenches 3, 4: input offset — the differential input that
+	// zeroes the differential drain current, from two DC points.
+	di := func(vdiff float64) (float64, error) {
+		b := newTB(t, "dp offset testbench", ex, routes)
+		header(b)
+		b.f("vga %s 0 DC %.9g", b.outer("g_a"), bias.VCM+vdiff/2)
+		b.f("vgb %s 0 DC %.9g", b.outer("g_b"), bias.VCM-vdiff/2)
+		b.f("vda %s 0 DC %.6g", b.outer("d_a"), bias.VD)
+		b.f("vdb %s 0 DC %.6g", b.outer("d_b"), bias.VD)
+		tail(b)
+		b.f(".op")
+		res, err := run(t, b.String())
+		if err != nil {
+			return 0, fmt.Errorf("dp offset testbench: %w", err)
+		}
+		ev.Sims++
+		ia, err1 := res.OP.Current("vda")
+		ib, err2 := res.OP.Current("vdb")
+		if err1 != nil || err2 != nil {
+			return 0, fmt.Errorf("dp offset testbench: currents missing")
+		}
+		return ia - ib, nil
+	}
+	const dv = 1e-3
+	d1, err := di(+dv)
+	if err != nil {
+		return nil, err
+	}
+	d2, err := di(-dv)
+	if err != nil {
+		return nil, err
+	}
+	if d1 == d2 {
+		ev.Values["offset"] = 0
+	} else {
+		// Linear zero crossing between the two points.
+		ev.Values["offset"] = dv - d1*(2*dv)/(d1-d2)
+	}
+	return ev, nil
+}
+
+// --- current mirror family ---
+
+func evalCMirror(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config,
+	ex *extract.Extracted, routes map[string]extract.Route) (*Eval, error) {
+	ev := &Eval{Values: make(map[string]float64)}
+	isP := e.MOSType.String() == "PMOS"
+	rail := "0"
+	if isP {
+		rail = "vdd"
+	}
+	iref := sz.NominalI
+	if iref <= 0 {
+		iref = bias.ITail
+	}
+	if iref <= 0 {
+		return nil, fmt.Errorf("cmirror: no reference current in sizing/bias")
+	}
+	ratio := float64(e.RatioB)
+	if sz.RatioB > 0 {
+		ratio = float64(sz.RatioB)
+	}
+	if ratio < 1 {
+		ratio = 1
+	}
+
+	header := func(title string) *tb {
+		b := newTB(t, title, ex, routes)
+		if isP {
+			b.f("vdd vdd 0 DC %.6g", bias.Vdd)
+		}
+		b.mos("a", e, sz, 0, cfg, b.dev("d_a"), b.dev("g_a"), b.dev("s_a"), rail)
+		b.mos("b", e, sz, 1, cfg, b.dev("d_b"), b.dev("g_b"), b.dev("s_b"), rail)
+		// Per-side source straps join the spine, which ties to the
+		// rail; both gates tie to the input port through their wires.
+		b.f("rtsa %s %s 1e-3", b.port("s_a"), b.dev("s"))
+		b.f("rtsb %s %s 1e-3", b.port("s_b"), b.dev("s"))
+		b.f("rtss %s %s 1e-3", b.outer("s"), rail)
+		b.f("rtga %s %s 1e-3", b.outer("g_a"), b.outer("d_a"))
+		b.f("rtgb %s %s 1e-3", b.outer("g_b"), b.outer("d_a"))
+		return b
+	}
+
+	// Testbench 1: current ratio at DC.
+	b := header("cm ratio testbench")
+	if isP {
+		b.f("iref %s 0 DC %.6g", b.outer("d_a"), iref) // pulls current out of the diode
+		b.f("vout %s 0 DC %.6g", b.outer("d_b"), bias.VD)
+	} else {
+		b.f("iref 0 %s DC %.6g", b.outer("d_a"), iref) // pushes current into the diode
+		b.f("vout %s 0 DC %.6g", b.outer("d_b"), bias.VD)
+	}
+	b.f(".op")
+	res, err := run(t, b.String())
+	if err != nil {
+		return nil, fmt.Errorf("cm ratio testbench: %w", err)
+	}
+	ev.Sims++
+	iout, err := res.OP.Current("vout")
+	if err != nil {
+		return nil, err
+	}
+	ev.Values["ratio"] = math.Abs(iout) / (iref * ratio)
+	ev.Values["iout"] = math.Abs(iout)
+
+	// Testbench 2: output capacitance.
+	b = header("cm cout testbench")
+	if isP {
+		b.f("iref %s 0 DC %.6g", b.outer("d_a"), iref)
+	} else {
+		b.f("iref 0 %s DC %.6g", b.outer("d_a"), iref)
+	}
+	b.f("ix 0 %s AC 1", b.outer("d_b"))
+	b.capBiasInductor("out", b.outer("d_b"), bias.VD)
+	if bias.CLoad > 0 {
+		b.f("cext %s 0 %.6g", b.outer("d_b"), bias.CLoad)
+	}
+	b.f(".ac dec 5 1e6 1e8")
+	b.f(".measure ac vre find vr(%s) at=%g", b.outer("d_b"), fCap)
+	b.f(".measure ac vim find vi(%s) at=%g", b.outer("d_b"), fCap)
+	res, err = run(t, b.String())
+	if err != nil {
+		return nil, fmt.Errorf("cm cout testbench: %w", err)
+	}
+	ev.Sims++
+	co, err := capFromVrVi(res.Measures["vre"], res.Measures["vim"])
+	if err != nil {
+		return nil, fmt.Errorf("cm cout testbench: %w", err)
+	}
+	ev.Values["Cout"] = co
+	return ev, nil
+}
+
+// --- current source / load family ---
+
+func evalCSource(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config,
+	ex *extract.Extracted, routes map[string]extract.Route) (*Eval, error) {
+	ev := &Eval{Values: make(map[string]float64)}
+	isP := e.MOSType.String() == "PMOS"
+	rail := "0"
+	if isP {
+		rail = "vdd"
+	}
+	mk := func(title string, vd float64) *tb {
+		b := newTB(t, title, ex, routes)
+		if isP {
+			b.f("vdd vdd 0 DC %.6g", bias.Vdd)
+		}
+		b.mos("a", e, sz, 0, cfg, b.dev("d"), b.dev("g"), b.dev("s"), rail)
+		b.f("rtss %s %s 1e-3", b.outer("s"), rail)
+		b.f("vg %s 0 DC %.6g", b.outer("g"), bias.VCM)
+		b.f("vd %s 0 DC %.9g", b.outer("d"), vd)
+		b.f(".op")
+		return b
+	}
+	ivAt := func(vd float64) (float64, error) {
+		res, err := run(t, mk("cs current testbench", vd).String())
+		if err != nil {
+			return 0, fmt.Errorf("cs current testbench: %w", err)
+		}
+		ev.Sims++
+		i, err := res.OP.Current("vd")
+		if err != nil {
+			return 0, err
+		}
+		return i, nil
+	}
+	i0, err := ivAt(bias.VD)
+	if err != nil {
+		return nil, err
+	}
+	ev.Values["current"] = math.Abs(i0)
+	const dv = 0.025
+	i1, err := ivAt(bias.VD + dv)
+	if err != nil {
+		return nil, err
+	}
+	i2, err := ivAt(bias.VD - dv)
+	if err != nil {
+		return nil, err
+	}
+	di := math.Abs(i1 - i2)
+	if di <= 0 {
+		return nil, fmt.Errorf("cs ro testbench: zero output conductance signal")
+	}
+	ev.Values["ro"] = 2 * dv / di
+	return ev, nil
+}
+
+// --- common-source amplifier family ---
+
+func evalCSAmp(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config,
+	ex *extract.Extracted, routes map[string]extract.Route) (*Eval, error) {
+	ev := &Eval{Values: make(map[string]float64)}
+
+	// Testbench 1: Gm — AC at the gate, drain held, current measured.
+	b := newTB(t, "cs gm testbench", ex, routes)
+	b.mos("a", e, sz, 0, cfg, b.dev("d"), b.dev("g"), b.dev("s"), "0")
+	b.f("rtss %s 0 1e-3", b.outer("s"))
+	b.f("vg %s 0 DC %.6g AC 1", b.outer("g"), bias.VCM)
+	b.f("vd %s 0 DC %.6g", b.outer("d"), bias.VD)
+	b.f(".ac dec 5 1e5 1e7")
+	b.f(".measure ac gmv find i(vd) at=%g", fGm)
+	res, err := run(t, b.String())
+	if err != nil {
+		return nil, fmt.Errorf("cs gm testbench: %w", err)
+	}
+	ev.Sims++
+	ev.Values["Gm"] = res.Measures["gmv"]
+
+	// Testbenches 2, 3: output resistance from two DC points.
+	ivAt := func(vd float64) (float64, error) {
+		b := newTB(t, "cs ro testbench", ex, routes)
+		b.mos("a", e, sz, 0, cfg, b.dev("d"), b.dev("g"), b.dev("s"), "0")
+		b.f("rtss %s 0 1e-3", b.outer("s"))
+		b.f("vg %s 0 DC %.6g", b.outer("g"), bias.VCM)
+		b.f("vd %s 0 DC %.9g", b.outer("d"), vd)
+		b.f(".op")
+		res, err := run(t, b.String())
+		if err != nil {
+			return 0, fmt.Errorf("cs ro testbench: %w", err)
+		}
+		ev.Sims++
+		return res.OP.Current("vd")
+	}
+	const dv = 0.025
+	i1, err := ivAt(bias.VD + dv)
+	if err != nil {
+		return nil, err
+	}
+	i2, err := ivAt(bias.VD - dv)
+	if err != nil {
+		return nil, err
+	}
+	di := math.Abs(i1 - i2)
+	if di <= 0 {
+		return nil, fmt.Errorf("cs ro testbench: no output conductance signal")
+	}
+	ev.Values["ro"] = 2 * dv / di
+
+	// Cout for downstream consumers (not in the cost by default).
+	b = newTB(t, "cs cout testbench", ex, routes)
+	b.mos("a", e, sz, 0, cfg, b.dev("d"), b.dev("g"), b.dev("s"), "0")
+	b.f("rtss %s 0 1e-3", b.outer("s"))
+	b.f("vg %s 0 DC %.6g", b.outer("g"), bias.VCM)
+	b.f("ix 0 %s AC 1", b.outer("d"))
+	b.capBiasInductor("d", b.outer("d"), bias.VD)
+	if bias.CLoad > 0 {
+		b.f("cext %s 0 %.6g", b.outer("d"), bias.CLoad)
+	}
+	b.f(".ac dec 5 1e6 1e8")
+	b.f(".measure ac vre find vr(%s) at=%g", b.outer("d"), fCap)
+	b.f(".measure ac vim find vi(%s) at=%g", b.outer("d"), fCap)
+	res, err = run(t, b.String())
+	if err != nil {
+		return nil, fmt.Errorf("cs cout testbench: %w", err)
+	}
+	ev.Sims++
+	if co, err := capFromVrVi(res.Measures["vre"], res.Measures["vim"]); err == nil {
+		ev.Values["Cout"] = co
+	}
+	return ev, nil
+}
+
+// --- current-starved inverter family ---
+
+func evalCSInv(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config,
+	ex *extract.Extracted, routes map[string]extract.Route) (*Eval, error) {
+	ev := &Eval{Values: make(map[string]float64)}
+	vdd := bias.Vdd
+	vctrl := bias.VCtrl
+	if vctrl <= 0 {
+		vctrl = vdd / 2
+	}
+
+	// The cell holds the inverter device (A) and the starving device
+	// (B) for each polarity; both polarities share the layout
+	// configuration and wire geometry (stacked rows).
+	header := func(title string, ex *extract.Extracted) *tb {
+		b := newTB(t, title, ex, routes)
+		b.f("vdd vdd 0 DC %.6g", vdd)
+		// NMOS half: out — Min — midn — (mid wire R) — Msn — (source
+		// wire R) — ground; PMOS half mirrored to vdd.
+		var rmid, rsrc float64
+		if ex != nil {
+			rmid = ex.Term["d_b"].R
+			rsrc = ex.Term["s_a"].R + ex.Term["s"].R
+		}
+		if rmid <= 0 {
+			rmid = 1e-3
+		}
+		if rsrc <= 0 {
+			rsrc = 1e-3
+		}
+		b.mosPolarity("in", "nmos", Sizing{TotalFins: sz.TotalFins, L: sz.L}, 0, cfg,
+			b.dev("d_a"), b.dev("g_a"), "midn", "0")
+		b.f("rmidn midn midn2 %.6g", rmid)
+		b.mosPolarity("sn", "nmos", Sizing{TotalFins: sz.TotalFins, L: sz.L}, 1, cfg,
+			"midn2", b.dev("g_b"), "srn", "0")
+		b.f("rsrcn srn 0 %.6g", rsrc)
+		b.mosPolarity("ip", "pmos", Sizing{TotalFins: sz.TotalFins, L: sz.L}, 0, cfg,
+			b.dev("d_a"), b.dev("g_a"), "midp", "vdd")
+		b.f("rmidp midp midp2 %.6g", rmid)
+		b.mosPolarity("sp", "pmos", Sizing{TotalFins: sz.TotalFins, L: sz.L}, 1, cfg,
+			"midp2", "ctrlp", "srp", "vdd")
+		b.f("rsrcp srp vdd %.6g", rsrc)
+		b.f("vctln %s 0 DC %.6g", b.outer("g_b"), vctrl)
+		b.f("vctlp ctrlp 0 DC %.6g", vdd-vctrl)
+		return b
+	}
+
+	// Testbench 1: transient — stage delay and supply current.
+	per := 4e-9
+	b := header("csinv delay testbench", ex)
+	b.f("vin %s 0 PULSE(0 %.6g 0.2n 20p 20p %.6g %.6g)", b.outer("g_a"), vdd, per/2, per)
+	if bias.CLoad > 0 {
+		b.f("cload %s 0 %.6g", b.outer("d_a"), bias.CLoad)
+	}
+	b.f(".tran 5p %.6g", per*1.5)
+	mid := vdd / 2
+	b.f(".measure tran tdf trig v(%s) val=%.6g rise=1 targ v(%s) val=%.6g fall=1",
+		b.outer("g_a"), mid, b.outer("d_a"), mid)
+	b.f(".measure tran tdr trig v(%s) val=%.6g fall=1 targ v(%s) val=%.6g rise=1",
+		b.outer("g_a"), mid, b.outer("d_a"), mid)
+	b.f(".measure tran iavg avg i(vdd) from=0.2n to=%.6g", 0.2e-9+per)
+	res, err := run(t, b.String())
+	if err != nil {
+		return nil, fmt.Errorf("csinv delay testbench: %w", err)
+	}
+	ev.Sims++
+	ev.Values["delay"] = (res.Measures["tdf"] + res.Measures["tdr"]) / 2
+	ev.Values["current"] = math.Abs(res.Measures["iavg"])
+
+	// Testbench 2: small-signal gain near midscale.
+	b = header("csinv gain testbench", ex)
+	b.f("vin %s 0 DC %.6g AC 1", b.outer("g_a"), vdd/2)
+	if bias.CLoad > 0 {
+		b.f("cload %s 0 %.6g", b.outer("d_a"), bias.CLoad)
+	}
+	b.f(".ac dec 5 1e5 1e7")
+	b.f(".measure ac av find vm(%s) at=1e6", b.outer("d_a"))
+	res, err = run(t, b.String())
+	if err != nil {
+		return nil, fmt.Errorf("csinv gain testbench: %w", err)
+	}
+	ev.Sims++
+	ev.Values["gain"] = res.Measures["av"]
+	return ev, nil
+}
+
+// --- cascoded differential pair family ---
+
+// evalDiffPairCascode measures the same Gm / Gm/Ctotal / offset
+// metrics as the plain pair, on the stacked topology: the cell's
+// device A is the input pair, device B the common-gate cascodes above
+// it. The cascode isolates the input devices from the drain routes
+// (higher Rout, smaller Miller), which is exactly what the metric
+// comparison against the plain pair shows.
+func evalDiffPairCascode(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config,
+	ex *extract.Extracted, routes map[string]extract.Route) (*Eval, error) {
+	ev := &Eval{Values: make(map[string]float64)}
+	vcasc := bias.VCasc
+	if vcasc <= 0 {
+		vcasc = bias.VCM + 0.15
+	}
+
+	// Shared topology: Ma/Mb input pair into Mca/Mcb cascodes. The
+	// input-pair drains ride the internal d_b wire (the mid nodes);
+	// the cascode drains own the external d_a ports. Source mesh as
+	// in the plain pair.
+	header := func(b *tb) {
+		b.mos("a", e, sz, 0, cfg, "mid_a", b.dev("g_a"), b.dev("s_a"), "0")
+		b.mos("b", e, sz, 0, cfg, "mid_b", b.dev("g_b"), b.dev("s_b"), "0")
+		b.mosPolarity("ca", "nmos", sz, 1, cfg, b.dev("d_a"), "cascg", "mid_a", "0")
+		b.mosPolarity("cb", "nmos", sz, 1, cfg, b.dev("d_b"), "cascg", "mid_b", "0")
+		b.f("vcasc cascg 0 DC %.6g", vcasc)
+		b.f("rtsa %s %s 1e-3", b.port("s_a"), b.dev("s"))
+		b.f("rtsb %s %s 1e-3", b.port("s_b"), b.dev("s"))
+	}
+
+	// Testbench 1: Gm.
+	b := newTB(t, "cascode dp gm testbench", ex, routes)
+	header(b)
+	b.f("vga %s 0 DC %.6g AC 0.5", b.outer("g_a"), bias.VCM)
+	b.f("vgb %s 0 DC %.6g AC 0.5 180", b.outer("g_b"), bias.VCM)
+	b.f("vda %s 0 DC %.6g", b.outer("d_a"), bias.VD)
+	b.f("vdb %s 0 DC %.6g", b.outer("d_b"), bias.VD)
+	b.f("ita %s 0 DC %.6g", b.outer("s"), bias.ITail)
+	b.f(".ac dec 5 1e5 1e7")
+	b.f(".measure ac gmhalf find i(vda) at=%g", fGm)
+	res, err := run(t, b.String())
+	if err != nil {
+		return nil, fmt.Errorf("cascode dp gm testbench: %w", err)
+	}
+	ev.Sims++
+	gm := 2 * res.Measures["gmhalf"]
+	ev.Values["Gm"] = gm
+
+	// Testbench 2: Ctotal at the cascode drain.
+	b = newTB(t, "cascode dp ctotal testbench", ex, routes)
+	header(b)
+	b.f("vga %s 0 DC %.6g", b.outer("g_a"), bias.VCM)
+	b.f("vgb %s 0 DC %.6g", b.outer("g_b"), bias.VCM)
+	b.f("vdb %s 0 DC %.6g", b.outer("d_b"), bias.VD)
+	b.f("ita %s 0 DC %.6g", b.outer("s"), bias.ITail)
+	b.f("ix 0 %s AC 1", b.outer("d_a"))
+	b.capBiasInductor("da", b.outer("d_a"), bias.VD)
+	if bias.CLoad > 0 {
+		b.f("cext %s 0 %.6g", b.outer("d_a"), bias.CLoad)
+	}
+	b.f(".ac dec 5 1e6 1e8")
+	b.f(".measure ac vre find vr(%s) at=%g", b.outer("d_a"), fCap)
+	b.f(".measure ac vim find vi(%s) at=%g", b.outer("d_a"), fCap)
+	res, err = run(t, b.String())
+	if err != nil {
+		return nil, fmt.Errorf("cascode dp ctotal testbench: %w", err)
+	}
+	ev.Sims++
+	ct, err := capFromVrVi(res.Measures["vre"], res.Measures["vim"])
+	if err != nil {
+		return nil, fmt.Errorf("cascode dp ctotal testbench: %w", err)
+	}
+	ev.Values["Ctotal"] = ct
+	if ct > 0 {
+		ev.Values["Gm/Ctotal"] = gm / ct
+	}
+
+	// Testbenches 3, 4: offset.
+	di := func(vdiff float64) (float64, error) {
+		b := newTB(t, "cascode dp offset testbench", ex, routes)
+		header(b)
+		b.f("vga %s 0 DC %.9g", b.outer("g_a"), bias.VCM+vdiff/2)
+		b.f("vgb %s 0 DC %.9g", b.outer("g_b"), bias.VCM-vdiff/2)
+		b.f("vda %s 0 DC %.6g", b.outer("d_a"), bias.VD)
+		b.f("vdb %s 0 DC %.6g", b.outer("d_b"), bias.VD)
+		b.f("ita %s 0 DC %.6g", b.outer("s"), bias.ITail)
+		b.f(".op")
+		res, err := run(t, b.String())
+		if err != nil {
+			return 0, fmt.Errorf("cascode dp offset testbench: %w", err)
+		}
+		ev.Sims++
+		ia, err1 := res.OP.Current("vda")
+		ib, err2 := res.OP.Current("vdb")
+		if err1 != nil || err2 != nil {
+			return 0, fmt.Errorf("cascode dp offset testbench: currents missing")
+		}
+		return ia - ib, nil
+	}
+	const dv = 1e-3
+	d1, err := di(+dv)
+	if err != nil {
+		return nil, err
+	}
+	d2, err := di(-dv)
+	if err != nil {
+		return nil, err
+	}
+	if d1 == d2 {
+		ev.Values["offset"] = 0
+	} else {
+		ev.Values["offset"] = dv - d1*(2*dv)/(d1-d2)
+	}
+	return ev, nil
+}

@@ -1,0 +1,127 @@
+package primlib
+
+import (
+	"fmt"
+	"math"
+
+	"primopt/internal/cellgen"
+	"primopt/internal/circuit"
+	"primopt/internal/cost"
+	"primopt/internal/extract"
+	"primopt/internal/pdk"
+)
+
+// The poly resistor primitive (passives class). Sizing.TotalFins
+// counts resistor squares; the layout options fold the serpentine
+// into different aspect ratios, trading the body's footprint (and so
+// its parasitic capacitance) against terminal lead length. Metrics:
+// the resistance itself (α = 1) and the parasitic capacitance
+// (α = 0.1), with RC at the terminals as the tuning knob.
+var PolyResistor = register(&Entry{
+	Kind:        "polyres",
+	Description: "precision poly resistor",
+	Family:      "res",
+	MOSType:     circuit.NMOS, // unused; passives have no devices
+	Structure:   cellgen.Single,
+	Metrics: []MetricSpec{
+		{Name: "R", Weight: cost.WeightHigh},
+		{Name: "Cpar", Weight: cost.WeightLow},
+	},
+	Tuning: []TuningTerm{
+		{Name: "top", Wires: []string{"d"}},
+		{Name: "bottom", Wires: []string{"s"}},
+	},
+	Ports: []PortSpec{{Name: "top", Wire: "d"}, {Name: "bottom", Wire: "s"}},
+})
+
+// resDesignR returns the design resistance for the sizing.
+func resDesignR(t *pdk.Tech, sz Sizing) float64 {
+	squares := float64(sz.TotalFins)
+	if squares < 1 {
+		squares = 1
+	}
+	return t.PolySheetRes * squares
+}
+
+// resNominalLeadC is the designer's lead-capacitance budget included
+// in the schematic reference (the body capacitance of a precision
+// resistor is tiny; without a lead budget any real wiring would read
+// as a huge relative deviation).
+const resNominalLeadC = 0.5e-15
+
+// resBodyC returns the body parasitic capacitance of a layout (or the
+// nominal-footprint estimate for the schematic).
+func resBodyC(t *pdk.Tech, lay *cellgen.Layout, sz Sizing) float64 {
+	if lay != nil {
+		return t.PolyCapDens * float64(lay.BBox.Area())
+	}
+	return t.PolyCapDens * float64(sz.TotalFins) * capUnitArea
+}
+
+// evalRes measures the end-to-end resistance (poly body plus the
+// extracted lead resistance) and the total parasitic capacitance.
+func evalRes(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, ex *extract.Extracted,
+	routes map[string]extract.Route) (*Eval, error) {
+	ev := &Eval{Values: make(map[string]float64)}
+	var lay *cellgen.Layout
+	if ex != nil {
+		lay = ex.Layout
+	}
+	rNom := resDesignR(t, sz)
+	cBody := resBodyC(t, lay, sz)
+
+	// Testbench 1: resistance — 1 mA forced through the terminals.
+	b := newTB(t, "polyres r testbench", ex, routes)
+	b.f("rmain %s %s %.6g", b.dev("d"), b.dev("s"), rNom)
+	b.f("rtb %s 0 1e-3", b.outer("s"))
+	b.f("ix 0 %s DC 1e-3", b.outer("d"))
+	b.f(".op")
+	res, err := run(t, b.String())
+	if err != nil {
+		return nil, fmt.Errorf("polyres r testbench: %w", err)
+	}
+	ev.Sims++
+	var v float64
+	if ex != nil {
+		v = res.OP.Volt("e_d")
+		if v == 0 {
+			v = res.OP.Volt("p_d")
+		}
+	} else {
+		v = res.OP.Volt("p_d")
+	}
+	ev.Values["R"] = v / 1e-3
+
+	// Testbench 2: parasitic capacitance — both terminals tied and
+	// driven; the body and wire capacitance to ground answers.
+	b = newTB(t, "polyres c testbench", ex, routes)
+	b.f("rmain %s %s %.6g", b.dev("d"), b.dev("s"), rNom)
+	b.f("cbody %s 0 %.6g", b.dev("d"), cBody/2)
+	b.f("cbody2 %s 0 %.6g", b.dev("s"), cBody/2)
+	b.f("rtie %s %s 1e-3", b.outer("d"), b.outer("s"))
+	b.f("ix 0 %s AC 1", b.outer("d"))
+	b.f("rbig %s 0 1e9", b.outer("d"))
+	b.f(".ac dec 5 1e6 1e8")
+	b.f(".measure ac vre find vr(%s) at=%g", b.outer("d"), fCap)
+	b.f(".measure ac vim find vi(%s) at=%g", b.outer("d"), fCap)
+	res, err = run(t, b.String())
+	if err != nil {
+		return nil, fmt.Errorf("polyres c testbench: %w", err)
+	}
+	ev.Sims++
+	c, err := capFromVrVi(res.Measures["vre"], res.Measures["vim"])
+	if err != nil {
+		return nil, fmt.Errorf("polyres c testbench: %w", err)
+	}
+	ev.Values["Cpar"] = c
+	_ = math.Pi
+	return ev, nil
+}
+
+// resSchematicEval is the schematic reference for the resistor.
+func resSchematicEval(t *pdk.Tech, sz Sizing) *Eval {
+	return &Eval{Values: map[string]float64{
+		"R":    resDesignR(t, sz),
+		"Cpar": resBodyC(t, nil, sz) + resNominalLeadC,
+	}}
+}

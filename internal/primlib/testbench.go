@@ -1,0 +1,146 @@
+package primlib
+
+import (
+	"fmt"
+	"strings"
+
+	"primopt/internal/cellgen"
+	"primopt/internal/extract"
+	"primopt/internal/pdk"
+)
+
+// tb assembles one SPICE testbench deck for a primitive. Device
+// terminals route through the extracted within-primitive wire RC to
+// port nodes, and optionally through external global-route RC to
+// excitation nodes — exactly the two knobs the paper's two
+// optimization steps turn.
+type tb struct {
+	sb      strings.Builder
+	tech    *pdk.Tech
+	ex      *extract.Extracted // nil = schematic reference
+	routes  map[string]extract.Route
+	emitted map[string]bool
+}
+
+func newTB(t *pdk.Tech, title string, ex *extract.Extracted, routes map[string]extract.Route) *tb {
+	b := &tb{tech: t, ex: ex, routes: routes, emitted: make(map[string]bool)}
+	b.f("* %s", title)
+	return b
+}
+
+func (b *tb) f(format string, args ...interface{}) {
+	fmt.Fprintf(&b.sb, format+"\n", args...)
+}
+
+// dev returns the net name the device terminal for wire key w should
+// connect to, emitting the wire/route sections on first use.
+func (b *tb) dev(w string) string {
+	if b.ex == nil {
+		return "p_" + w
+	}
+	b.emitWire(w)
+	return "x_" + w
+}
+
+// port returns the port-side net name for wire key w ("p_<w>"),
+// emitting its wire section.
+func (b *tb) port(w string) string {
+	if b.ex != nil {
+		b.emitWire(w)
+	}
+	return "p_" + w
+}
+
+// outer returns the net name excitation and loads should attach to
+// for wire key w: past the external route when one exists.
+func (b *tb) outer(w string) string {
+	if b.ex == nil {
+		return "p_" + w
+	}
+	b.emitWire(w)
+	if _, ok := b.routes[w]; ok {
+		return "e_" + w
+	}
+	return "p_" + w
+}
+
+// emitWire writes the π-section for a wire key (and its external
+// route when present) once.
+func (b *tb) emitWire(w string) {
+	if b.emitted[w] || b.ex == nil {
+		return
+	}
+	b.emitted[w] = true
+	rc, ok := b.ex.Term[w]
+	if !ok {
+		// No layout wire for this terminal: direct connection.
+		b.f("Rw_%s x_%s p_%s 1e-3", w, w, w)
+		return
+	}
+	b.f("Rw_%s x_%s p_%s %.6g", w, w, w, rc.R)
+	if rc.CNear > 0 {
+		b.f("Cwn_%s x_%s 0 %.6g", w, w, rc.CNear)
+	}
+	if rc.CFar > 0 {
+		b.f("Cwf_%s p_%s 0 %.6g", w, w, rc.CFar)
+	}
+	if rt, ok := b.routes[w]; ok {
+		r, c := extract.RouteRC(b.tech, rt)
+		b.f("Rr_%s p_%s e_%s %.6g", w, w, w, r)
+		b.f("Crn_%s p_%s 0 %.6g", w, w, c/2)
+		b.f("Crf_%s e_%s 0 %.6g", w, w, c/2)
+	}
+}
+
+// mos emits a MOS line for logical device dev (0 = A, 1 = B) of the
+// layout, with LDE and junction parameters from extraction. The nets
+// are raw net names (caller picks dev()/outer()/fixed rails).
+func (b *tb) mos(name string, e *Entry, sz Sizing, dev int, cfg cellgen.Config, d, g, s, bulk string) {
+	model := "nmos"
+	if e.MOSType.String() == "PMOS" {
+		model = "pmos"
+	}
+	mult := cfg.M
+	if dev == 1 {
+		ratio := e.RatioB
+		if sz.RatioB > 0 {
+			ratio = sz.RatioB
+		}
+		if ratio < 1 {
+			ratio = 1
+		}
+		mult = cfg.M * ratio
+	}
+	line := fmt.Sprintf("M%s %s %s %s %s %s nfin=%d nf=%d m=%d l=%de-9",
+		name, d, g, s, bulk, model, cfg.NFin, cfg.NF, mult, sz.L)
+	if b.ex != nil && dev < len(b.ex.Dev) {
+		p := b.ex.Dev[dev]
+		line += fmt.Sprintf(" dvth=%.6g dmu=%.6g ad=%.6g as=%.6g pd=%.6g ps=%.6g",
+			p.DVth, p.DMu, p.AD, p.AS, p.PD, p.PS)
+	}
+	b.f("%s", line)
+}
+
+// mosPolarity emits a MOS line with an explicit model override —
+// used by the current-starved inverter, whose cell holds both
+// polarities.
+func (b *tb) mosPolarity(name, model string, sz Sizing, dev int, cfg cellgen.Config, d, g, s, bulk string) {
+	line := fmt.Sprintf("M%s %s %s %s %s %s nfin=%d nf=%d m=%d l=%de-9",
+		name, d, g, s, bulk, model, cfg.NFin, cfg.NF, cfg.M, sz.L)
+	if b.ex != nil && dev < len(b.ex.Dev) {
+		p := b.ex.Dev[dev]
+		line += fmt.Sprintf(" dvth=%.6g dmu=%.6g ad=%.6g as=%.6g pd=%.6g ps=%.6g",
+			p.DVth, p.DMu, p.AD, p.AS, p.PD, p.PS)
+	}
+	b.f("%s", line)
+}
+
+func (b *tb) String() string { return b.sb.String() }
+
+// capBiasInductor emits the DC-bias inductor trick for capacitance
+// measurement: node is held at dc through a 1 H inductor (a DC short
+// that is open at the measurement frequency).
+func (b *tb) capBiasInductor(name, node string, dc float64) {
+	b.f("Lb_%s %s bb_%s 1", name, node, name)
+	b.f("Vb_%s bb_%s 0 DC %.6g", name, name, dc)
+}

@@ -1,0 +1,50 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("My Title", "A", "B")
+	tb.Add("x", 1.2345678)
+	tb.Add("longer-cell", "v")
+	tb.Note("note %d", 7)
+	s := tb.String()
+	for _, want := range []string{"My Title", "A", "B", "1.235", "longer-cell", "note 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	// Column alignment: every data row at least as wide as the widest
+	// cell plus padding.
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+}
+
+func TestTableExtraCells(t *testing.T) {
+	tb := New("t", "only")
+	tb.Add("a", "b", "c") // more cells than headers must not panic
+	if !strings.Contains(tb.String(), "c") {
+		t.Error("extra cell dropped")
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	tb := New("", "h")
+	if tb.String() == "" {
+		t.Error("empty table should still render headers")
+	}
+}
+
+func TestTableIntAndFloatFormatting(t *testing.T) {
+	tb := New("t", "v")
+	tb.Add(42)
+	tb.Add(3.14159)
+	s := tb.String()
+	if !strings.Contains(s, "42") || !strings.Contains(s, "3.142") {
+		t.Errorf("formatting wrong:\n%s", s)
+	}
+}

@@ -1,0 +1,371 @@
+// Package route is the global router of the flow (Fig. 1): a
+// multi-layer grid-graph A* router with layer-preferred directions,
+// via costs, and congestion-aware edge pricing. Its job in the
+// methodology is to supply, per net, the geometry that primitive port
+// optimization consumes: total length per layer and the via count
+// (Fig. 6(b) — "the global routes provide information about the wire
+// lengths in each layer and via information").
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"primopt/internal/geom"
+	"primopt/internal/pdk"
+)
+
+// Pin is a net endpoint in placement coordinates.
+type Pin struct {
+	Block string
+	At    geom.Point
+}
+
+// NetReq is one net to route.
+type NetReq struct {
+	Name string
+	Pins []Pin
+}
+
+// Segment is one routed wire piece on the grid.
+type Segment struct {
+	Layer    pdk.Layer
+	From, To geom.Point // gcell coordinates scaled back to nm
+}
+
+// NetRoute is the routing result for one net.
+type NetRoute struct {
+	Name          string
+	LengthByLayer map[pdk.Layer]int64 // nm
+	Vias          int
+	Segments      []Segment
+}
+
+// TotalLength sums over layers.
+func (nr *NetRoute) TotalLength() int64 {
+	var t int64
+	for _, l := range nr.LengthByLayer {
+		t += l
+	}
+	return t
+}
+
+// DominantLayer returns the layer carrying the most length (the layer
+// reported to port optimization), defaulting to M3.
+func (nr *NetRoute) DominantLayer() pdk.Layer {
+	best := pdk.Layer(2)
+	var bestLen int64 = -1
+	for l, ln := range nr.LengthByLayer {
+		if ln > bestLen || (ln == bestLen && l < best) {
+			best, bestLen = l, ln
+		}
+	}
+	return best
+}
+
+// Params configures the router.
+type Params struct {
+	// CellSize is the gcell edge in nm (default 200).
+	CellSize int64
+	// MinLayer is the lowest layer global routes may use (default 2,
+	// i.e. M3 — M1/M2 belong to the cells).
+	MinLayer pdk.Layer
+	// MaxLayer caps the stack (default: top layer).
+	MaxLayer pdk.Layer
+	// ViaCost penalizes layer changes in gcell-length units (default 4).
+	ViaCost float64
+	// CongestionCost scales the per-use edge penalty (default 2).
+	CongestionCost float64
+}
+
+func (p Params) withDefaults(t *pdk.Tech) Params {
+	if p.CellSize <= 0 {
+		p.CellSize = 200
+	}
+	if p.MinLayer <= 0 {
+		p.MinLayer = 2
+	}
+	if p.MaxLayer <= 0 || int(p.MaxLayer) >= t.NumLayers() {
+		p.MaxLayer = pdk.Layer(t.NumLayers() - 1)
+	}
+	if p.ViaCost <= 0 {
+		p.ViaCost = 4
+	}
+	if p.CongestionCost <= 0 {
+		p.CongestionCost = 2
+	}
+	return p
+}
+
+// Result is the full routing outcome.
+type Result struct {
+	Nets map[string]*NetRoute
+	// Usage counts wire occupancy per gcell edge for congestion
+	// reporting.
+	OverflowEdges int
+}
+
+// node is a 3D grid location.
+type node struct {
+	x, y int
+	l    pdk.Layer
+}
+
+type router struct {
+	tech   *pdk.Tech
+	p      Params
+	nx, ny int
+	use    map[[5]int]int // edge occupancy: (x, y, l, dx, dy)
+}
+
+// Route routes all nets within the region (placement bounding box
+// plus margin).
+func Route(t *pdk.Tech, region geom.Rect, nets []NetReq, p Params) (*Result, error) {
+	p = p.withDefaults(t)
+	if region.Empty() {
+		return nil, fmt.Errorf("route: empty region")
+	}
+	r := &router{
+		tech: t,
+		p:    p,
+		nx:   int(region.W()/p.CellSize) + 3,
+		ny:   int(region.H()/p.CellSize) + 3,
+		use:  make(map[[5]int]int),
+	}
+	res := &Result{Nets: make(map[string]*NetRoute, len(nets))}
+
+	// Deterministic order: larger nets first (harder to route), then
+	// by name.
+	order := append([]NetReq(nil), nets...)
+	sort.SliceStable(order, func(i, j int) bool {
+		if len(order[i].Pins) != len(order[j].Pins) {
+			return len(order[i].Pins) > len(order[j].Pins)
+		}
+		return order[i].Name < order[j].Name
+	})
+
+	for _, net := range order {
+		if len(net.Pins) < 2 {
+			res.Nets[net.Name] = &NetRoute{Name: net.Name, LengthByLayer: map[pdk.Layer]int64{}}
+			continue
+		}
+		nr, err := r.routeNet(region, net)
+		if err != nil {
+			return nil, err
+		}
+		res.Nets[net.Name] = nr
+	}
+	for _, n := range r.use {
+		if n > 2 {
+			res.OverflowEdges++
+		}
+	}
+	return res, nil
+}
+
+// gcell maps placement coordinates to grid coordinates.
+func (r *router) gcell(region geom.Rect, pt geom.Point) (int, int) {
+	x := int((pt.X - region.X0) / r.p.CellSize)
+	y := int((pt.Y - region.Y0) / r.p.CellSize)
+	if x < 0 {
+		x = 0
+	}
+	if y < 0 {
+		y = 0
+	}
+	if x >= r.nx {
+		x = r.nx - 1
+	}
+	if y >= r.ny {
+		y = r.ny - 1
+	}
+	return x, y
+}
+
+// routeNet routes a multi-pin net by sequential nearest-source A*
+// (each pin connects to the growing routed tree — the Steiner
+// decomposition the paper assumes, with all branches later sharing
+// the net's parallel-wire count).
+func (r *router) routeNet(region geom.Rect, net NetReq) (*NetRoute, error) {
+	nr := &NetRoute{Name: net.Name, LengthByLayer: map[pdk.Layer]int64{}}
+	// Tree starts at pin 0 (entered at MinLayer).
+	x0, y0 := r.gcell(region, net.Pins[0].At)
+	tree := map[node]bool{{x0, y0, r.p.MinLayer}: true}
+
+	// Connect remaining pins in nearest-first order.
+	remaining := append([]Pin(nil), net.Pins[1:]...)
+	for len(remaining) > 0 {
+		// Pick the unconnected pin closest to the tree (cheap
+		// heuristic on gcell Manhattan distance).
+		bestI, bestD := 0, int(1<<30)
+		for i, pin := range remaining {
+			px, py := r.gcell(region, pin.At)
+			for tn := range tree {
+				d := abs(px-tn.x) + abs(py-tn.y)
+				if d < bestD {
+					bestD = d
+					bestI = i
+				}
+			}
+		}
+		pin := remaining[bestI]
+		remaining = append(remaining[:bestI], remaining[bestI+1:]...)
+		path, err := r.astar(tree, region, pin)
+		if err != nil {
+			return nil, fmt.Errorf("route: net %s pin %s: %w", net.Name, pin.Block, err)
+		}
+		r.commit(nr, path, region)
+		for _, n := range path {
+			tree[n] = true
+		}
+	}
+	return nr, nil
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// pq is the A* priority queue.
+type pqItem struct {
+	n    node
+	f, g float64
+}
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].f < q[j].f }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// astar searches from the existing tree to the pin's gcell (any
+// layer). Wrong-direction edges cost extra; vias cost ViaCost;
+// congested edges cost more.
+func (r *router) astar(tree map[node]bool, region geom.Rect, pin Pin) ([]node, error) {
+	tx, ty := r.gcell(region, pin.At)
+	open := &pq{}
+	gScore := map[node]float64{}
+	parent := map[node]node{}
+	for tn := range tree {
+		gScore[tn] = 0
+		heap.Push(open, pqItem{n: tn, g: 0, f: float64(abs(tn.x-tx) + abs(tn.y-ty))})
+	}
+	var goal node
+	found := false
+	for open.Len() > 0 {
+		cur := heap.Pop(open).(pqItem)
+		if g, ok := gScore[cur.n]; ok && cur.g > g {
+			continue
+		}
+		if cur.n.x == tx && cur.n.y == ty {
+			goal = cur.n
+			found = true
+			break
+		}
+		for _, nb := range r.neighbors(cur.n) {
+			ng := cur.g + r.edgeCost(cur.n, nb.n)
+			if old, ok := gScore[nb.n]; !ok || ng < old {
+				gScore[nb.n] = ng
+				parent[nb.n] = cur.n
+				h := float64(abs(nb.n.x-tx) + abs(nb.n.y-ty))
+				heap.Push(open, pqItem{n: nb.n, g: ng, f: ng + h})
+			}
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("no path to (%d, %d)", tx, ty)
+	}
+	// Reconstruct until we re-enter the tree.
+	var path []node
+	for n := goal; ; {
+		path = append(path, n)
+		if tree[n] {
+			break
+		}
+		p, ok := parent[n]
+		if !ok {
+			break
+		}
+		n = p
+	}
+	return path, nil
+}
+
+type neighbor struct{ n node }
+
+// neighbors enumerates legal moves: planar steps in the layer's
+// preferred direction, and vias up/down.
+func (r *router) neighbors(n node) []neighbor {
+	out := make([]neighbor, 0, 4)
+	horizontal := r.tech.Metals[n.l].Horizontal
+	if horizontal {
+		if n.x > 0 {
+			out = append(out, neighbor{node{n.x - 1, n.y, n.l}})
+		}
+		if n.x < r.nx-1 {
+			out = append(out, neighbor{node{n.x + 1, n.y, n.l}})
+		}
+	} else {
+		if n.y > 0 {
+			out = append(out, neighbor{node{n.x, n.y - 1, n.l}})
+		}
+		if n.y < r.ny-1 {
+			out = append(out, neighbor{node{n.x, n.y + 1, n.l}})
+		}
+	}
+	if n.l > r.p.MinLayer {
+		out = append(out, neighbor{node{n.x, n.y, n.l - 1}})
+	}
+	if n.l < r.p.MaxLayer {
+		out = append(out, neighbor{node{n.x, n.y, n.l + 1}})
+	}
+	return out
+}
+
+// edgeCost prices one move.
+func (r *router) edgeCost(a, b node) float64 {
+	if a.l != b.l {
+		return r.p.ViaCost
+	}
+	c := 1.0
+	key := edgeKey(a, b)
+	c += r.p.CongestionCost * float64(r.use[key])
+	return c
+}
+
+func edgeKey(a, b node) [5]int {
+	// Canonical: lower endpoint first.
+	if b.x < a.x || b.y < a.y {
+		a, b = b, a
+	}
+	return [5]int{a.x, a.y, int(a.l), b.x - a.x, b.y - a.y}
+}
+
+// commit records a path into the net route and congestion map.
+func (r *router) commit(nr *NetRoute, path []node, region geom.Rect) {
+	cs := r.p.CellSize
+	toPt := func(n node) geom.Point {
+		return geom.Point{X: region.X0 + int64(n.x)*cs + cs/2, Y: region.Y0 + int64(n.y)*cs + cs/2}
+	}
+	for i := 1; i < len(path); i++ {
+		a, b := path[i], path[i-1]
+		if a.l != b.l {
+			nr.Vias++
+			continue
+		}
+		nr.LengthByLayer[a.l] += cs
+		r.use[edgeKey(a, b)]++
+		nr.Segments = append(nr.Segments, Segment{Layer: a.l, From: toPt(a), To: toPt(b)})
+	}
+}

@@ -1,0 +1,216 @@
+package spice
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"primopt/internal/circuit"
+	"primopt/internal/device"
+)
+
+func TestRCLowPass(t *testing.T) {
+	r, c := 1e3, 1e-12 // fc = 159.2 MHz
+	fc := 1 / (2 * math.Pi * r * c)
+	nl := circuit.NewBuilder("rc").
+		VAC("vin", "in", "0", 0, 1).
+		R("r1", "in", "out", r).
+		C("c1", "out", "0", c).
+		Netlist()
+	e := mustEngine(t, nl)
+	op, err := e.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := e.AC(fc/100, fc*100, 50, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the lowest frequency the gain is ~1.
+	if m := cmplx.Abs(ac.Volt("out", 0)); math.Abs(m-1) > 0.01 {
+		t.Errorf("low-f gain = %g, want 1", m)
+	}
+	// At fc: magnitude 1/sqrt(2), phase -45 degrees.
+	ki := nearestFreq(ac.Freqs, fc)
+	m := cmplx.Abs(ac.Volt("out", ki))
+	if math.Abs(m-1/math.Sqrt2) > 0.02 {
+		t.Errorf("gain at fc = %g, want %g", m, 1/math.Sqrt2)
+	}
+	ph := ac.PhaseDeg("out", ki)
+	if math.Abs(ph+45) > 2 {
+		t.Errorf("phase at fc = %g, want -45", ph)
+	}
+	// At 100*fc: ~ -40 dB.
+	last := len(ac.Freqs) - 1
+	if db := ac.MagDB("out", last); math.Abs(db+40) > 0.5 {
+		t.Errorf("gain at 100fc = %g dB, want -40", db)
+	}
+}
+
+func nearestFreq(freqs []float64, f float64) int {
+	best, bi := math.Inf(1), 0
+	for i, x := range freqs {
+		if d := math.Abs(math.Log(x / f)); d < best {
+			best, bi = d, i
+		}
+	}
+	return bi
+}
+
+func TestRLHighPass(t *testing.T) {
+	// Series R, shunt L: |V(out)| rises with f toward... actually
+	// V_L = jwL/(R + jwL): high-pass with fc = R/(2πL).
+	r, l := 1e3, 1e-6
+	fc := r / (2 * math.Pi * l)
+	nl := circuit.NewBuilder("rl").
+		VAC("vin", "in", "0", 0, 1).
+		R("r1", "in", "out", r).
+		L("l1", "out", "0", l).
+		Netlist()
+	e := mustEngine(t, nl)
+	op, err := e.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := e.AC(fc/100, fc*100, 30, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := cmplx.Abs(ac.Volt("out", 0)); m > 0.02 {
+		t.Errorf("low-f inductor voltage = %g, want ~0", m)
+	}
+	last := len(ac.Freqs) - 1
+	if m := cmplx.Abs(ac.Volt("out", last)); math.Abs(m-1) > 0.01 {
+		t.Errorf("high-f inductor voltage = %g, want ~1", m)
+	}
+	ki := nearestFreq(ac.Freqs, fc)
+	if m := cmplx.Abs(ac.Volt("out", ki)); math.Abs(m-1/math.Sqrt2) > 0.03 {
+		t.Errorf("|H(fc)| = %g, want %g", m, 1/math.Sqrt2)
+	}
+}
+
+func TestCommonSourceGainMatchesGmRout(t *testing.T) {
+	// Resistor-loaded common source: low-frequency gain = -gm*(R||ro).
+	nl := circuit.NewBuilder("cs")
+	nl.V("vdd", "vdd", "0", 0.8).
+		VAC("vin", "g", "0", 0.45, 1).
+		R("rl", "vdd", "d", 5e3).
+		MOS("m1", circuit.NMOS, "d", "g", "0", "0", 4, 2, 1, 14)
+	e := mustEngine(t, nl.Netlist())
+	op, err := e.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := device.EvalMOS(tech, nl.Netlist().Device("m1"),
+		op.Volt("d"), 0.45, 0, 0)
+	ro := 1 / st.Gds()
+	want := st.Gm() * (5e3 * ro / (5e3 + ro))
+	ac, err := e.AC(1e3, 1e6, 10, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cmplx.Abs(ac.Volt("d", 0))
+	if math.Abs(got-want)/want > 0.01 {
+		t.Errorf("CS gain = %g, want %g", got, want)
+	}
+	// Inverting stage: phase ~180 at low f.
+	if ph := math.Abs(ac.PhaseDeg("d", 0)); ph < 175 {
+		t.Errorf("CS phase = %g, want ~180", ph)
+	}
+}
+
+func TestACCurrentThroughSource(t *testing.T) {
+	// AC current source convention check via a 1 V AC source across a
+	// resistor: I(v1) = -1/R (source delivers).
+	nl := circuit.NewBuilder("i").
+		VAC("v1", "a", "0", 0, 1).
+		R("r1", "a", "0", 2e3).
+		Netlist()
+	e := mustEngine(t, nl)
+	op, _ := e.OP()
+	ac, err := e.AC(1e3, 1e4, 5, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, err := ac.Current("v1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(real(i)+0.5e-3) > 1e-9 || math.Abs(imag(i)) > 1e-9 {
+		t.Errorf("I(v1) = %v, want -0.5mA", i)
+	}
+	if _, err := ac.Current("r1", 0); err == nil {
+		t.Error("resistor AC current lookup should fail")
+	}
+}
+
+func TestACISourceAndPhase(t *testing.T) {
+	// AC current source with 90-degree phase into a resistor.
+	nl := circuit.New("ip")
+	d := &circuit.Device{Name: "i1", Type: circuit.ISource, Nets: []string{"0", "out"}}
+	d.SetParam("acmag", 1e-3)
+	d.SetParam("acphase", 90)
+	nl.MustAdd(d)
+	r := &circuit.Device{Name: "r1", Type: circuit.Resistor, Nets: []string{"out", "0"}}
+	r.SetParam("r", 1e3)
+	nl.MustAdd(r)
+	e := mustEngine(t, nl)
+	op, _ := e.OP()
+	ac, err := e.AC(1e3, 1e4, 5, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := ac.Volt("out", 0)
+	if math.Abs(real(v)) > 1e-9 || math.Abs(imag(v)-1.0) > 1e-9 {
+		t.Errorf("V(out) = %v, want 0+1i", v)
+	}
+}
+
+func TestACRangeValidation(t *testing.T) {
+	nl := circuit.NewBuilder("x").VAC("v", "a", "0", 0, 1).R("r", "a", "0", 1).Netlist()
+	e := mustEngine(t, nl)
+	op, _ := e.OP()
+	if _, err := e.AC(-1, 10, 10, op); err == nil {
+		t.Error("negative fstart accepted")
+	}
+	if _, err := e.AC(1e6, 1e3, 10, op); err == nil {
+		t.Error("reversed range accepted")
+	}
+	// Degenerate single-frequency range still yields >= 2 points.
+	ac, err := e.AC(1e6, 1e6, 10, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ac.Freqs) < 2 {
+		t.Errorf("points = %d", len(ac.Freqs))
+	}
+	// pointsPerDecade < 1 defaults sanely.
+	if _, err := e.AC(1e3, 1e6, 0, op); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMOSCapRollsOffCSAmp(t *testing.T) {
+	// The common-source stage must show a finite bandwidth due to its
+	// own device capacitance plus an explicit load.
+	nl := circuit.NewBuilder("bw")
+	nl.V("vdd", "vdd", "0", 0.8).
+		VAC("vin", "g", "0", 0.4, 1).
+		R("rl", "vdd", "d", 5e3).
+		C("cl", "d", "0", 20e-15).
+		MOS("m1", circuit.NMOS, "d", "g", "0", "0", 4, 1, 1, 14)
+	e := mustEngine(t, nl.Netlist())
+	op, err := e.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := e.AC(1e6, 1e11, 10, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := ac.MagDB("d", 0)
+	hi := ac.MagDB("d", len(ac.Freqs)-1)
+	if hi > lo-20 {
+		t.Errorf("no rolloff: %g dB at low f vs %g dB at high f", lo, hi)
+	}
+}

@@ -1,0 +1,304 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"primopt/internal/numeric"
+)
+
+// Newton iteration limits and tolerances.
+const (
+	maxNewtonIters = 200
+	vAbsTol        = 1e-6 // V
+	vRelTol        = 1e-6
+	dvLimit        = 0.3 // V per-iteration step clamp
+)
+
+// OPResult is a DC operating point.
+type OPResult struct {
+	X []float64 // node voltages then branch currents
+	e *Engine
+}
+
+// Volt returns the DC voltage of a net (0 for ground; 0 with no error
+// for unknown nets — callers validate nets up front via the engine).
+func (r *OPResult) Volt(net string) float64 {
+	idx, ok := r.e.NodeIndex(net)
+	if !ok {
+		return 0
+	}
+	return volt(r.X, idx)
+}
+
+// Current returns the branch current through a named V source, VCVS,
+// or inductor (positive current flows into the + terminal and out of
+// the - terminal through the source).
+func (r *OPResult) Current(name string) (float64, error) {
+	i, ok := r.e.BranchIndex(name)
+	if !ok {
+		return 0, fmt.Errorf("spice: no branch current for %q", name)
+	}
+	return r.X[i], nil
+}
+
+// OP computes the DC operating point: plain Newton first, then gmin
+// stepping, then source stepping. Capacitors are open, inductors are
+// shorts (via their branch equations with zero voltage drop).
+func (e *Engine) OP() (*OPResult, error) {
+	x := make([]float64, e.n)
+	// Plain Newton from zero with a modest gmin floor.
+	if err := e.newtonDC(x, 1e-12, 1.0); err == nil {
+		return &OPResult{X: x, e: e}, nil
+	}
+	// gmin stepping: converge with a large shunt conductance, then
+	// relax it geometrically, warm-starting each stage.
+	for i := range x {
+		x[i] = 0
+	}
+	ok := true
+	for gmin := 1e-2; gmin >= 1e-12; gmin /= 10 {
+		if err := e.newtonDC(x, gmin, 1.0); err != nil {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		if err := e.newtonDC(x, 1e-12, 1.0); err == nil {
+			return &OPResult{X: x, e: e}, nil
+		}
+	}
+	// Source stepping: ramp all independent sources from 0.
+	for i := range x {
+		x[i] = 0
+	}
+	for _, scale := range []float64{0.05, 0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 1.0} {
+		if err := e.newtonDC(x, 1e-9, scale); err != nil {
+			return nil, fmt.Errorf("spice: OP failed for %s at source scale %.2f: %w",
+				e.NL.Name, scale, err)
+		}
+	}
+	if err := e.newtonDC(x, 1e-12, 1.0); err != nil {
+		return nil, fmt.Errorf("spice: OP polish failed for %s: %w", e.NL.Name, err)
+	}
+	return &OPResult{X: x, e: e}, nil
+}
+
+// newtonDC runs damped Newton on the DC equations, updating x in
+// place. gmin is a shunt conductance added at every MOS drain/source
+// node; srcScale scales all independent sources.
+func (e *Engine) newtonDC(x []float64, gmin, srcScale float64) error {
+	n := e.n
+	J := numeric.NewMatrix(n)
+	rhs := make([]float64, n)
+	xNew := make([]float64, n)
+	for iter := 0; iter < maxNewtonIters; iter++ {
+		J.Zero()
+		for i := range rhs {
+			rhs[i] = 0
+		}
+		e.stampLinearDC(J, rhs, srcScale)
+		e.stampMOSDC(J, rhs, x, gmin)
+		f, err := numeric.Factor(J)
+		if err != nil {
+			return fmt.Errorf("newton iter %d: %w", iter, err)
+		}
+		f.Solve(rhs, xNew)
+		// Damp: clamp per-node voltage change.
+		conv := true
+		for i := 0; i < n; i++ {
+			dv := xNew[i] - x[i]
+			if i < e.numNodes {
+				if dv > dvLimit {
+					dv = dvLimit
+				} else if dv < -dvLimit {
+					dv = -dvLimit
+				}
+				if math.Abs(dv) > vAbsTol+vRelTol*math.Abs(x[i]) {
+					conv = false
+				}
+			} else {
+				// Branch currents converge with a looser check; they
+				// are linear given the voltages.
+				if math.Abs(dv) > 1e-9+1e-6*math.Abs(x[i]) {
+					conv = false
+				}
+			}
+			x[i] += dv
+		}
+		if conv && iter > 0 {
+			return nil
+		}
+	}
+	return fmt.Errorf("no convergence in %d iterations", maxNewtonIters)
+}
+
+// stampLinearDC stamps resistors, sources, and controlled sources.
+// Capacitors are open in DC. Inductor branches enforce V+ - V- = 0.
+func (e *Engine) stampLinearDC(J *numeric.Matrix, rhs []float64, srcScale float64) {
+	add := func(i, j int, g float64) {
+		if i >= 0 && j >= 0 {
+			J.Add(i, j, g)
+		}
+	}
+	addRHS := func(i int, v float64) {
+		if i >= 0 {
+			rhs[i] += v
+		}
+	}
+	for _, d := range e.res {
+		g := 1 / d.Param("r", 1)
+		p, q := e.node(d.Nets[0]), e.node(d.Nets[1])
+		add(p, p, g)
+		add(q, q, g)
+		add(p, q, -g)
+		add(q, p, -g)
+	}
+	for _, d := range e.vsrc {
+		p, q := e.node(d.Nets[0]), e.node(d.Nets[1])
+		b := e.branchOf[strings.ToLower(d.Name)]
+		add(p, b, 1)
+		add(q, b, -1)
+		add(b, p, 1)
+		add(b, q, -1)
+		rhs[b] += srcScale * d.Param("dc", 0)
+	}
+	for _, d := range e.isrc {
+		p, q := e.node(d.Nets[0]), e.node(d.Nets[1])
+		v := srcScale * d.Param("dc", 0)
+		// Current flows from p through the source to q.
+		addRHS(p, -v)
+		addRHS(q, v)
+	}
+	for _, d := range e.inds {
+		p, q := e.node(d.Nets[0]), e.node(d.Nets[1])
+		b := e.branchOf[strings.ToLower(d.Name)]
+		add(p, b, 1)
+		add(q, b, -1)
+		add(b, p, 1)
+		add(b, q, -1)
+		// V+ - V- = 0 in DC (rhs stays 0).
+	}
+	for _, d := range e.vcvs {
+		p, q := e.node(d.Nets[0]), e.node(d.Nets[1])
+		cp, cn := e.node(d.Nets[2]), e.node(d.Nets[3])
+		b := e.branchOf[strings.ToLower(d.Name)]
+		g := d.Param("gain", 1)
+		add(p, b, 1)
+		add(q, b, -1)
+		add(b, p, 1)
+		add(b, q, -1)
+		add(b, cp, -g)
+		add(b, cn, g)
+	}
+	for _, d := range e.vccs {
+		p, q := e.node(d.Nets[0]), e.node(d.Nets[1])
+		cp, cn := e.node(d.Nets[2]), e.node(d.Nets[3])
+		g := d.Param("gain", 0)
+		add(p, cp, g)
+		add(p, cn, -g)
+		add(q, cp, -g)
+		add(q, cn, g)
+	}
+}
+
+// stampMOSDC stamps the Newton-linearized transistors at bias x.
+func (e *Engine) stampMOSDC(J *numeric.Matrix, rhs []float64, x []float64, gmin float64) {
+	add := func(i, j int, g float64) {
+		if i >= 0 && j >= 0 {
+			J.Add(i, j, g)
+		}
+	}
+	for mi := range e.mos {
+		nd, ng, ns, nb := e.mosNode[mi][0], e.mosNode[mi][1], e.mosNode[mi][2], e.mosNode[mi][3]
+		vd, vg, vs, vb := volt(x, nd), volt(x, ng), volt(x, ns), volt(x, nb)
+		st := e.mosCtx[mi].Eval(vd, vg, vs, vb)
+		// Linearized: i(v) ≈ Ids + G·(v - v0); MNA needs the Norton
+		// equivalent: conductances G into J, and the residual
+		// (G·v0 - Ids) onto the RHS.
+		ieq := st.GdVd*vd + st.GdVg*vg + st.GdVs*vs + st.GdVb*vb - st.Ids
+		cols := [4]int{nd, ng, ns, nb}
+		gs := [4]float64{st.GdVd, st.GdVg, st.GdVs, st.GdVb}
+		for c := 0; c < 4; c++ {
+			add(nd, cols[c], gs[c])
+			add(ns, cols[c], -gs[c])
+		}
+		if nd >= 0 {
+			rhs[nd] += ieq
+		}
+		if ns >= 0 {
+			rhs[ns] -= ieq
+		}
+		// gmin shunts stabilize floating/high-impedance nodes. A tiny
+		// permanent floor on every terminal keeps nodes that have no
+		// other DC path (e.g. capacitively driven gates) well-defined.
+		g := gmin
+		if g < 1e-12 {
+			g = 1e-12
+		}
+		add(nd, nd, g)
+		add(ns, ns, g)
+		add(ng, ng, g)
+		add(nb, nb, g)
+	}
+}
+
+// DeviceOP summarizes one transistor's operating point.
+type DeviceOP struct {
+	Name          string
+	Vgs, Vds      float64
+	Id            float64
+	Gm, Gds       float64
+	Region        string // "cutoff", "triode", "saturation"
+	Cgs, Cgd, Cdb float64
+}
+
+// Devices returns the operating-point summary of every MOS device, in
+// netlist order — the information designers read off a .op run.
+func (r *OPResult) Devices() []DeviceOP {
+	e := r.e
+	out := make([]DeviceOP, 0, len(e.mos))
+	for mi, d := range e.mos {
+		nd, ng, ns, nb := e.mosNode[mi][0], e.mosNode[mi][1], e.mosNode[mi][2], e.mosNode[mi][3]
+		vd, vg, vs, vb := volt(r.X, nd), volt(r.X, ng), volt(r.X, ns), volt(r.X, nb)
+		st := e.mosCtx[mi].Eval(vd, vg, vs, vb)
+		op := DeviceOP{
+			Name: d.Name,
+			Vgs:  vg - vs, Vds: vd - vs,
+			Id: st.Ids, Gm: st.GdVg, Gds: st.GdVd,
+			Cgs: st.Cgs, Cgd: st.Cgd, Cdb: st.Cdb,
+		}
+		// Region classification by magnitudes (PMOS handled via the
+		// mirrored quantities).
+		vgsEff, vdsEff := op.Vgs, op.Vds
+		vth := e.Tech.VthN
+		if d.Type.String() == "PMOS" {
+			vgsEff, vdsEff = -vgsEff, -vdsEff
+			vth = e.Tech.VthP
+		}
+		switch {
+		case vgsEff < vth-0.05:
+			// Below threshold: conducting devices (analog bias points
+			// frequently live here) are "subthreshold", not cutoff.
+			if absF(op.Id) > 10e-9 {
+				op.Region = "subthreshold"
+			} else {
+				op.Region = "cutoff"
+			}
+		case vdsEff < vgsEff-vth:
+			op.Region = "triode"
+		default:
+			op.Region = "saturation"
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+func absF(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,270 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"primopt/internal/circuit"
+	"primopt/internal/device"
+	"primopt/internal/pdk"
+)
+
+var tech = pdk.Default()
+
+func mustEngine(t *testing.T, nl *circuit.Netlist) *Engine {
+	t.Helper()
+	e, err := New(tech, nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func mustOP(t *testing.T, nl *circuit.Netlist) (*Engine, *OPResult) {
+	t.Helper()
+	e := mustEngine(t, nl)
+	op, err := e.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, op
+}
+
+func TestResistorDivider(t *testing.T) {
+	nl := circuit.NewBuilder("div").
+		V("v1", "in", "0", 1.0).
+		R("r1", "in", "mid", 1e3).
+		R("r2", "mid", "0", 1e3).
+		Netlist()
+	_, op := mustOP(t, nl)
+	if v := op.Volt("mid"); math.Abs(v-0.5) > 1e-9 {
+		t.Errorf("divider mid = %g, want 0.5", v)
+	}
+	// SPICE convention: source delivering current reads negative.
+	i, err := op.Current("v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(i-(-0.5e-3)) > 1e-9 {
+		t.Errorf("I(v1) = %g, want -0.5mA", i)
+	}
+}
+
+func TestCurrentSourceIntoResistor(t *testing.T) {
+	nl := circuit.NewBuilder("ir").
+		I("i1", "0", "out", 1e-3). // pushes 1 mA into node out
+		R("r1", "out", "0", 2e3).
+		Netlist()
+	_, op := mustOP(t, nl)
+	if v := op.Volt("out"); math.Abs(v-2.0) > 1e-9 {
+		t.Errorf("V(out) = %g, want 2", v)
+	}
+}
+
+func TestVCVSAndVCCS(t *testing.T) {
+	nl := circuit.NewBuilder("ctl").
+		V("vin", "a", "0", 0.1).
+		E("e1", "b", "0", "a", "0", 10).   // b = 10 * a = 1 V
+		G("g1", "0", "c", "a", "0", 1e-3). // 0.1 mA into c
+		R("rc", "c", "0", 1e4).            // c = 1 V
+		R("rb", "b", "0", 1e3).
+		Netlist()
+	_, op := mustOP(t, nl)
+	if v := op.Volt("b"); math.Abs(v-1.0) > 1e-9 {
+		t.Errorf("VCVS out = %g, want 1", v)
+	}
+	if v := op.Volt("c"); math.Abs(v-1.0) > 1e-9 {
+		t.Errorf("VCCS out = %g, want 1", v)
+	}
+}
+
+func TestInductorIsDCShort(t *testing.T) {
+	nl := circuit.NewBuilder("rl").
+		V("v1", "in", "0", 1.0).
+		R("r1", "in", "mid", 1e3).
+		L("l1", "mid", "0", 1e-9).
+		Netlist()
+	_, op := mustOP(t, nl)
+	if v := op.Volt("mid"); math.Abs(v) > 1e-9 {
+		t.Errorf("inductor DC drop = %g, want 0", v)
+	}
+	i, err := op.Current("l1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(i-1e-3) > 1e-9 {
+		t.Errorf("I(l1) = %g, want 1mA", i)
+	}
+}
+
+func TestCapacitorIsDCOpen(t *testing.T) {
+	nl := circuit.NewBuilder("rc").
+		V("v1", "in", "0", 1.0).
+		R("r1", "in", "out", 1e3).
+		C("c1", "out", "0", 1e-12).
+		R("rleak", "out", "0", 1e6). // keeps node non-floating
+		Netlist()
+	_, op := mustOP(t, nl)
+	want := 1e6 / (1e6 + 1e3)
+	if v := op.Volt("out"); math.Abs(v-want) > 1e-6 {
+		t.Errorf("V(out) = %g, want %g", v, want)
+	}
+}
+
+func TestDiodeConnectedNMOS(t *testing.T) {
+	// Current source pulls 100 µA through a diode-connected NMOS: the
+	// gate-source voltage must settle above ~Vth and below Vdd.
+	nl := circuit.NewBuilder("diode")
+	nl.MOS("m1", circuit.NMOS, "d", "d", "0", "0", 8, 4, 1, 14).
+		I("ib", "vdd", "d", 100e-6).
+		V("vdd", "vdd", "0", 0.8)
+	_, op := mustOP(t, nl.Netlist())
+	v := op.Volt("d")
+	if v < 0.2 || v > 0.6 {
+		t.Errorf("diode Vgs = %g, want 0.2..0.6", v)
+	}
+	// The device current equals the bias current.
+	d := nl.Netlist().Device("m1")
+	st := device.EvalMOS(tech, d, v, v, 0, 0)
+	if math.Abs(st.Ids-100e-6)/100e-6 > 1e-3 {
+		t.Errorf("diode current = %g, want 100µA", st.Ids)
+	}
+}
+
+func TestNMOSInverterTransfer(t *testing.T) {
+	// Resistor-load inverter: output high when input low and vice
+	// versa; monotone decreasing transfer.
+	build := func(vin float64) *circuit.Netlist {
+		return circuit.NewBuilder("inv").
+			V("vdd", "vdd", "0", 0.8).
+			V("vin", "g", "0", vin).
+			R("rl", "vdd", "d", 10e3).
+			MOS("m1", circuit.NMOS, "d", "g", "0", "0", 4, 2, 1, 14).
+			Netlist()
+	}
+	prev := math.Inf(1)
+	for _, vin := range []float64{0, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8} {
+		_, op := mustOP(t, build(vin))
+		v := op.Volt("d")
+		if v > prev+1e-6 {
+			t.Errorf("transfer not monotone at vin=%g: %g > %g", vin, v, prev)
+		}
+		prev = v
+	}
+	_, opLo := mustOP(t, build(0))
+	if v := opLo.Volt("d"); v < 0.75 {
+		t.Errorf("output with input low = %g, want ~0.8", v)
+	}
+	_, opHi := mustOP(t, build(0.8))
+	if v := opHi.Volt("d"); v > 0.2 {
+		t.Errorf("output with input high = %g, want low", v)
+	}
+}
+
+func TestCMOSInverterOP(t *testing.T) {
+	build := func(vin float64) *circuit.Netlist {
+		return circuit.NewBuilder("cmosinv").
+			V("vdd", "vdd", "0", 0.8).
+			V("vin", "g", "0", vin).
+			MOS("mp", circuit.PMOS, "d", "g", "vdd", "vdd", 4, 2, 1, 14).
+			MOS("mn", circuit.NMOS, "d", "g", "0", "0", 4, 2, 1, 14).
+			Netlist()
+	}
+	_, op := mustOP(t, build(0))
+	if v := op.Volt("d"); v < 0.75 {
+		t.Errorf("CMOS inverter out(0) = %g, want ~vdd", v)
+	}
+	_, op = mustOP(t, build(0.8))
+	if v := op.Volt("d"); v > 0.05 {
+		t.Errorf("CMOS inverter out(vdd) = %g, want ~0", v)
+	}
+}
+
+func TestFiveTransistorOTAOP(t *testing.T) {
+	// A real 5T OTA biased via a current mirror: the tail current
+	// splits evenly between the matched branches at equal inputs.
+	nl := circuit.NewBuilder("ota")
+	nl.V("vdd", "vdd", "0", 0.8).
+		V("vcm1", "inp", "0", 0.45).
+		V("vcm2", "inn", "0", 0.45).
+		I("ibias", "vdd", "bias", 50e-6).
+		MOS("mtail_ref", circuit.NMOS, "bias", "bias", "0", "0", 4, 4, 1, 14).
+		MOS("mtail", circuit.NMOS, "tail", "bias", "0", "0", 4, 4, 2, 14).
+		MOS("m1", circuit.NMOS, "o1", "inp", "tail", "0", 8, 4, 1, 14).
+		MOS("m2", circuit.NMOS, "out", "inn", "tail", "0", 8, 4, 1, 14).
+		MOS("m3", circuit.PMOS, "o1", "o1", "vdd", "vdd", 8, 4, 1, 14).
+		MOS("m4", circuit.PMOS, "out", "o1", "vdd", "vdd", 8, 4, 1, 14)
+	_, op := mustOP(t, nl.Netlist())
+	// Mirror doubles the reference: tail current ~100 µA, so each
+	// branch carries ~50 µA; both outputs sit at sane levels.
+	vo1, vout := op.Volt("o1"), op.Volt("out")
+	if vo1 < 0.3 || vo1 > 0.75 {
+		t.Errorf("V(o1) = %g", vo1)
+	}
+	if vout < 0.2 || vout > 0.79 {
+		t.Errorf("V(out) = %g", vout)
+	}
+	// Symmetric inputs: outputs near-equal (mirror forces balance).
+	if math.Abs(vo1-vout) > 0.15 {
+		t.Errorf("outputs unbalanced: %g vs %g", vo1, vout)
+	}
+	if v := op.Volt("tail"); v < 0.02 || v > 0.4 {
+		t.Errorf("tail voltage = %g", v)
+	}
+}
+
+func TestEngineRejectsBadDevices(t *testing.T) {
+	nl := circuit.New("bad")
+	d := &circuit.Device{Name: "r1", Type: circuit.Resistor, Nets: []string{"a", "0"}}
+	d.SetParam("r", -5)
+	nl.MustAdd(d)
+	if _, err := New(tech, nl); err == nil {
+		t.Error("negative resistor accepted")
+	}
+	if _, err := New(tech, circuit.New("empty")); err == nil {
+		t.Error("empty circuit accepted")
+	}
+}
+
+func TestFloatingNodeHandled(t *testing.T) {
+	// A gate driven only through a capacitor is floating in DC; gmin
+	// stepping must still find an OP rather than erroring out.
+	nl := circuit.NewBuilder("float").
+		V("vdd", "vdd", "0", 0.8).
+		C("cc", "vdd", "g", 1e-15).
+		MOS("m1", circuit.NMOS, "d", "g", "0", "0", 2, 1, 1, 14).
+		R("rd", "vdd", "d", 10e3).
+		Netlist()
+	_, err := New(tech, nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mustEngine(t, nl)
+	if _, err := e.OP(); err != nil {
+		t.Fatalf("floating-gate OP failed: %v", err)
+	}
+}
+
+func TestNodeAndBranchIndex(t *testing.T) {
+	nl := circuit.NewBuilder("ix").
+		V("v1", "a", "0", 1).
+		R("r1", "a", "b", 1e3).
+		R("r2", "b", "0", 1e3).
+		Netlist()
+	e := mustEngine(t, nl)
+	if i, ok := e.NodeIndex("GND"); !ok || i != -1 {
+		t.Error("ground index wrong")
+	}
+	if _, ok := e.NodeIndex("nosuch"); ok {
+		t.Error("phantom node")
+	}
+	if _, ok := e.BranchIndex("v1"); !ok {
+		t.Error("vsource branch missing")
+	}
+	if _, ok := e.BranchIndex("r1"); ok {
+		t.Error("resistor should have no branch")
+	}
+	if e.NumUnknowns() != 3 { // a, b, branch(v1)
+		t.Errorf("unknowns = %d, want 3", e.NumUnknowns())
+	}
+}

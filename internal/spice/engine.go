@@ -1,0 +1,160 @@
+// Package spice implements the circuit simulator that powers every
+// optimization step in the paper: modified nodal analysis (MNA) with a
+// damped-Newton DC operating point (with gmin and source stepping),
+// complex small-signal AC sweeps, and a trapezoidal transient engine
+// with sub-stepping on nonconvergence. A SPICE-subset deck parser and
+// .measure evaluation make the primitive testbenches real SPICE decks,
+// as in the paper (Section II-B).
+//
+// The engine is sized for the paper's workload — primitives with a
+// handful of transistors and full circuits with tens of nodes — so it
+// uses dense LU throughout.
+package spice
+
+import (
+	"fmt"
+	"strings"
+
+	"primopt/internal/circuit"
+	"primopt/internal/device"
+	"primopt/internal/pdk"
+)
+
+// Engine holds the MNA structure for one netlist: the node and branch
+// unknown assignment plus device lists split by kind.
+type Engine struct {
+	Tech *pdk.Tech
+	NL   *circuit.Netlist
+
+	nodeOf    map[string]int // net -> unknown index; ground absent
+	nodeNames []string       // index -> net
+	branchOf  map[string]int // device name -> branch unknown index
+	numNodes  int
+	n         int // total unknowns
+
+	mos     []*circuit.Device
+	mosCtx  []*device.EvalContext
+	mosNode [][4]int // precomputed node indices (d, g, s, b)
+	res     []*circuit.Device
+	caps    []*circuit.Device
+	inds    []*circuit.Device
+	vsrc    []*circuit.Device
+	isrc    []*circuit.Device
+	vcvs    []*circuit.Device
+	vccs    []*circuit.Device
+}
+
+// New builds the MNA structure for nl under technology t.
+func New(t *pdk.Tech, nl *circuit.Netlist) (*Engine, error) {
+	e := &Engine{
+		Tech:     t,
+		NL:       nl,
+		nodeOf:   make(map[string]int),
+		branchOf: make(map[string]int),
+	}
+	for _, net := range nl.Nets() {
+		if net == "0" {
+			continue
+		}
+		e.nodeOf[net] = len(e.nodeNames)
+		e.nodeNames = append(e.nodeNames, net)
+	}
+	e.numNodes = len(e.nodeNames)
+
+	nextBranch := e.numNodes
+	for _, d := range nl.Devices {
+		switch d.Type {
+		case circuit.NMOS, circuit.PMOS:
+			e.mos = append(e.mos, d)
+		case circuit.Resistor:
+			if d.Param("r", 0) <= 0 {
+				return nil, fmt.Errorf("spice: resistor %s has non-positive value", d.Name)
+			}
+			e.res = append(e.res, d)
+		case circuit.Capacitor:
+			if d.Param("c", 0) < 0 {
+				return nil, fmt.Errorf("spice: capacitor %s has negative value", d.Name)
+			}
+			e.caps = append(e.caps, d)
+		case circuit.Inductor:
+			if d.Param("l", 0) <= 0 {
+				return nil, fmt.Errorf("spice: inductor %s has non-positive value", d.Name)
+			}
+			e.inds = append(e.inds, d)
+			e.branchOf[strings.ToLower(d.Name)] = nextBranch
+			nextBranch++
+		case circuit.VSource:
+			e.vsrc = append(e.vsrc, d)
+			e.branchOf[strings.ToLower(d.Name)] = nextBranch
+			nextBranch++
+		case circuit.ISource:
+			e.isrc = append(e.isrc, d)
+		case circuit.VCVS:
+			e.vcvs = append(e.vcvs, d)
+			e.branchOf[strings.ToLower(d.Name)] = nextBranch
+			nextBranch++
+		case circuit.VCCS:
+			e.vccs = append(e.vccs, d)
+		default:
+			return nil, fmt.Errorf("spice: unsupported device type %v (%s)", d.Type, d.Name)
+		}
+	}
+	e.n = nextBranch
+	if e.n == 0 {
+		return nil, fmt.Errorf("spice: empty circuit %s", nl.Name)
+	}
+	// Precompute per-MOS evaluation contexts and node indices for the
+	// Newton inner loops.
+	for _, d := range e.mos {
+		e.mosCtx = append(e.mosCtx, device.NewContext(t, d))
+		e.mosNode = append(e.mosNode, [4]int{
+			e.node(d.Nets[0]), e.node(d.Nets[1]), e.node(d.Nets[2]), e.node(d.Nets[3]),
+		})
+	}
+	return e, nil
+}
+
+// node returns the unknown index of a net, or -1 for ground.
+func (e *Engine) node(net string) int {
+	if net == "0" {
+		return -1
+	}
+	return e.nodeOf[net]
+}
+
+// NumUnknowns returns the size of the MNA system.
+func (e *Engine) NumUnknowns() int { return e.n }
+
+// NodeIndex exposes the unknown index for a net (-1 for ground),
+// with ok=false for unknown nets.
+func (e *Engine) NodeIndex(net string) (int, bool) {
+	net = circuit.NormalizeNet(net)
+	if net == "0" {
+		return -1, true
+	}
+	i, ok := e.nodeOf[net]
+	return i, ok
+}
+
+// BranchIndex returns the branch-current unknown of a V/E/L device
+// (case-insensitive).
+func (e *Engine) BranchIndex(name string) (int, bool) {
+	i, ok := e.branchOf[strings.ToLower(name)]
+	return i, ok
+}
+
+// volt reads node voltage from a solution vector (ground = 0).
+func volt(x []float64, idx int) float64 {
+	if idx < 0 {
+		return 0
+	}
+	return x[idx]
+}
+
+// voltC is the complex-solution analogue of volt.
+func voltC(x []complex128, idx int) complex128 {
+	if idx < 0 {
+		return 0
+	}
+	return x[idx]
+}

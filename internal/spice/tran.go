@@ -1,0 +1,393 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"primopt/internal/device"
+	"primopt/internal/numeric"
+)
+
+// TranResult is a transient waveform set sampled at the requested
+// print interval.
+type TranResult struct {
+	Times []float64
+	X     [][]float64 // per time point: node voltages + branch currents
+	e     *Engine
+}
+
+// Volt returns the waveform of a net.
+func (r *TranResult) Volt(net string) []float64 {
+	idx, ok := r.e.NodeIndex(net)
+	if !ok {
+		return make([]float64, len(r.Times))
+	}
+	out := make([]float64, len(r.Times))
+	for k, x := range r.X {
+		out[k] = volt(x, idx)
+	}
+	return out
+}
+
+// VoltAt returns V(net) at time index k.
+func (r *TranResult) VoltAt(net string, k int) float64 {
+	idx, ok := r.e.NodeIndex(net)
+	if !ok {
+		return 0
+	}
+	return volt(r.X[k], idx)
+}
+
+// Current returns the branch-current waveform of a V/E/L device.
+func (r *TranResult) Current(name string) ([]float64, error) {
+	i, ok := r.e.BranchIndex(name)
+	if !ok {
+		return nil, fmt.Errorf("spice: no branch current for %q", name)
+	}
+	out := make([]float64, len(r.Times))
+	for k, x := range r.X {
+		out[k] = x[i]
+	}
+	return out, nil
+}
+
+// TranOpts configures a transient run.
+type TranOpts struct {
+	// IC overrides initial node voltages (net -> V) after the initial
+	// operating point; used to kick oscillators and set comparator
+	// initial states.
+	IC map[string]float64
+	// UIC skips the initial operating point entirely and starts from
+	// zero plus IC, like SPICE's UIC.
+	UIC bool
+	// MaxInternalStep caps the internal integration step; defaults to
+	// the print step.
+	MaxInternalStep float64
+}
+
+// capElem is a unified capacitance for transient integration: either
+// an explicit capacitor or one of the five MOS capacitances.
+type capElem struct {
+	a, b  int     // node indices (-1 = ground)
+	c     float64 // current value, F (MOS caps updated per step)
+	iPrev float64 // capacitor current at the previous accepted point
+}
+
+// tranState carries the per-run integration state.
+type tranState struct {
+	e        *Engine
+	capElems []capElem
+	mosCapIx [][5]int  // per MOS: indices into capElems for gs, gd, gb, db, sb
+	indIPrev []float64 // inductor branch currents at previous point
+
+	// Scratch buffers reused across steps.
+	J     *numeric.Matrix
+	rhs   []float64
+	sol   []float64
+	xNew  []float64
+	xPrev []float64
+}
+
+// Tran runs a transient analysis from 0 to tstop, storing points every
+// tstep. Integration uses trapezoidal companions with Newton at each
+// step and recursive step halving on nonconvergence.
+func (e *Engine) Tran(tstep, tstop float64, opts TranOpts) (*TranResult, error) {
+	if tstep <= 0 || tstop <= 0 || tstop < tstep {
+		return nil, fmt.Errorf("spice: bad tran range step=%g stop=%g", tstep, tstop)
+	}
+	x := make([]float64, e.n)
+	if !opts.UIC {
+		op, err := e.OP()
+		if err != nil {
+			return nil, fmt.Errorf("spice: tran initial OP: %w", err)
+		}
+		copy(x, op.X)
+	}
+	for net, v := range opts.IC {
+		if idx, ok := e.NodeIndex(net); ok && idx >= 0 {
+			x[idx] = v
+		}
+	}
+
+	st := &tranState{e: e,
+		J:     numeric.NewMatrix(e.n),
+		rhs:   make([]float64, e.n),
+		sol:   make([]float64, e.n),
+		xNew:  make([]float64, e.n),
+		xPrev: make([]float64, e.n),
+	}
+	// Explicit capacitors.
+	for _, d := range e.caps {
+		st.capElems = append(st.capElems, capElem{
+			a: e.node(d.Nets[0]), b: e.node(d.Nets[1]), c: d.Param("c", 0),
+		})
+	}
+	// MOS capacitances: five each, values refreshed per step.
+	for range e.mos {
+		var ix [5]int
+		for k := 0; k < 5; k++ {
+			ix[k] = len(st.capElems)
+			st.capElems = append(st.capElems, capElem{a: -1, b: -1})
+		}
+		st.mosCapIx = append(st.mosCapIx, ix)
+	}
+	st.indIPrev = make([]float64, len(e.inds))
+	for i, d := range e.inds {
+		st.indIPrev[i] = x[e.branchOf[strings.ToLower(d.Name)]]
+	}
+	st.refreshMOSCaps(x)
+
+	res := &TranResult{e: e}
+	res.Times = append(res.Times, 0)
+	res.X = append(res.X, append([]float64(nil), x...))
+
+	h := tstep
+	if opts.MaxInternalStep > 0 && opts.MaxInternalStep < h {
+		h = opts.MaxInternalStep
+	}
+	t := 0.0
+	for t < tstop-1e-21 {
+		tNext := t + tstep
+		if tNext > tstop {
+			tNext = tstop
+		}
+		if err := st.advanceTo(x, t, tNext, h, 0); err != nil {
+			return nil, fmt.Errorf("spice: tran stalled at t=%.4g: %w", t, err)
+		}
+		t = tNext
+		res.Times = append(res.Times, t)
+		res.X = append(res.X, append([]float64(nil), x...))
+	}
+	return res, nil
+}
+
+// advanceTo integrates from t to tEnd using steps of at most h,
+// halving recursively (up to depth 12) when Newton fails.
+func (st *tranState) advanceTo(x []float64, t, tEnd, h float64, depth int) error {
+	for t < tEnd-1e-21 {
+		step := h
+		if t+step > tEnd {
+			step = tEnd - t
+		}
+		xTry := append([]float64(nil), x...)
+		iCapNew, iIndNew, err := st.step(xTry, t, step)
+		if err != nil {
+			if depth >= 12 {
+				return err
+			}
+			if err2 := st.advanceTo(x, t, t+step, step/2, depth+1); err2 != nil {
+				return err2
+			}
+			t += step
+			continue
+		}
+		copy(x, xTry)
+		for i := range st.capElems {
+			st.capElems[i].iPrev = iCapNew[i]
+		}
+		copy(st.indIPrev, iIndNew)
+		st.refreshMOSCaps(x)
+		t += step
+	}
+	return nil
+}
+
+// refreshMOSCaps re-evaluates the MOS capacitances at bias x.
+func (st *tranState) refreshMOSCaps(x []float64) {
+	e := st.e
+	for mi := range e.mos {
+		nd, ng, ns, nb := e.mosNode[mi][0], e.mosNode[mi][1], e.mosNode[mi][2], e.mosNode[mi][3]
+		s := e.mosCtx[mi].Eval(volt(x, nd), volt(x, ng), volt(x, ns), volt(x, nb))
+		ix := st.mosCapIx[mi]
+		pairs := [5]struct {
+			a, b int
+			c    float64
+		}{
+			{ng, ns, s.Cgs}, {ng, nd, s.Cgd}, {ng, nb, s.Cgb},
+			{nd, nb, s.Cdb}, {ns, nb, s.Csb},
+		}
+		for k, p := range pairs {
+			ce := &st.capElems[ix[k]]
+			ce.a, ce.b, ce.c = p.a, p.b, p.c
+		}
+	}
+}
+
+// step advances one trapezoidal step of size h from the state in x
+// (which holds the solution at time t) to time t+h, leaving the new
+// solution in x. It returns the new capacitor and inductor currents.
+func (st *tranState) step(x []float64, t, h float64) ([]float64, []float64, error) {
+	e := st.e
+	n := e.n
+	J := st.J
+	rhs := st.rhs
+	xNew := st.xNew
+	xPrev := st.xPrev
+	copy(xNew, x)
+	copy(xPrev, x)
+	tNew := t + h
+
+	// Trapezoidal companion for capacitor between nodes a, b:
+	//   i(t+h) = geq·v(t+h) - geq·v(t) - i(t),  geq = 2C/h.
+	// Norton: conductance geq, current source ieq = geq·v(t) + i(t)
+	// flowing a->b through the element.
+	type capComp struct{ geq, ieq float64 }
+	comps := make([]capComp, len(st.capElems))
+	for i, ce := range st.capElems {
+		geq := 2 * ce.c / h
+		vPrev := volt(xPrev, ce.a) - volt(xPrev, ce.b)
+		comps[i] = capComp{geq: geq, ieq: geq*vPrev + ce.iPrev}
+	}
+	// Trapezoidal companion for inductors (branch formulation):
+	//   v = L di/dt -> i(t+h) = i(t) + (h/2L)(v(t)+v(t+h))
+	// Branch row: v(t+h) - (2L/h)·i(t+h) = -v(t) - (2L/h)·i(t).
+	type indComp struct{ req, veq float64 }
+	icomps := make([]indComp, len(e.inds))
+	for i, d := range e.inds {
+		l := d.Param("l", 0)
+		req := 2 * l / h
+		vPrev := volt(xPrev, e.node(d.Nets[0])) - volt(xPrev, e.node(d.Nets[1]))
+		icomps[i] = indComp{req: req, veq: -vPrev - req*st.indIPrev[i]}
+	}
+
+	for iter := 0; iter < maxNewtonIters; iter++ {
+		J.Zero()
+		for i := range rhs {
+			rhs[i] = 0
+		}
+		e.stampTranLinear(J, rhs, tNew)
+		e.stampMOSDC(J, rhs, xNew, 1e-12)
+		// Capacitor companions.
+		for i, ce := range st.capElems {
+			g, ieq := comps[i].geq, comps[i].ieq
+			if g == 0 {
+				continue
+			}
+			if ce.a >= 0 {
+				J.Add(ce.a, ce.a, g)
+				rhs[ce.a] += ieq
+			}
+			if ce.b >= 0 {
+				J.Add(ce.b, ce.b, g)
+				rhs[ce.b] -= ieq
+			}
+			if ce.a >= 0 && ce.b >= 0 {
+				J.Add(ce.a, ce.b, -g)
+				J.Add(ce.b, ce.a, -g)
+			}
+		}
+		// Inductor companions.
+		for i, d := range e.inds {
+			p, q := e.node(d.Nets[0]), e.node(d.Nets[1])
+			b := e.branchOf[strings.ToLower(d.Name)]
+			if p >= 0 {
+				J.Add(p, b, 1)
+				J.Add(b, p, 1)
+			}
+			if q >= 0 {
+				J.Add(q, b, -1)
+				J.Add(b, q, -1)
+			}
+			J.Add(b, b, -icomps[i].req)
+			rhs[b] += icomps[i].veq
+		}
+
+		f, err := numeric.Factor(J)
+		if err != nil {
+			return nil, nil, fmt.Errorf("tran newton: %w", err)
+		}
+		sol := st.sol
+		f.Solve(rhs, sol)
+		conv := true
+		for i := 0; i < n; i++ {
+			dv := sol[i] - xNew[i]
+			if i < e.numNodes {
+				if dv > dvLimit {
+					dv = dvLimit
+				} else if dv < -dvLimit {
+					dv = -dvLimit
+				}
+				if math.Abs(dv) > vAbsTol+vRelTol*math.Abs(xNew[i]) {
+					conv = false
+				}
+			} else if math.Abs(dv) > 1e-9+1e-6*math.Abs(xNew[i]) {
+				conv = false
+			}
+			xNew[i] += dv
+		}
+		if conv && iter > 0 {
+			copy(x, xNew)
+			// New capacitor currents from the trapezoidal relation.
+			iCap := make([]float64, len(st.capElems))
+			for i, ce := range st.capElems {
+				vNew := volt(xNew, ce.a) - volt(xNew, ce.b)
+				vPrev := volt(xPrev, ce.a) - volt(xPrev, ce.b)
+				iCap[i] = comps[i].geq*(vNew-vPrev) - ce.iPrev
+			}
+			iInd := make([]float64, len(e.inds))
+			for i, d := range e.inds {
+				iInd[i] = xNew[e.branchOf[strings.ToLower(d.Name)]]
+			}
+			return iCap, iInd, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("tran step no convergence (h=%.3g)", h)
+}
+
+// stampTranLinear stamps R and time-evaluated sources at time tm.
+func (e *Engine) stampTranLinear(J *numeric.Matrix, rhs []float64, tm float64) {
+	add := func(i, j int, g float64) {
+		if i >= 0 && j >= 0 {
+			J.Add(i, j, g)
+		}
+	}
+	for _, d := range e.res {
+		g := 1 / d.Param("r", 1)
+		p, q := e.node(d.Nets[0]), e.node(d.Nets[1])
+		add(p, p, g)
+		add(q, q, g)
+		add(p, q, -g)
+		add(q, p, -g)
+	}
+	for _, d := range e.vsrc {
+		p, q := e.node(d.Nets[0]), e.node(d.Nets[1])
+		b := e.branchOf[strings.ToLower(d.Name)]
+		add(p, b, 1)
+		add(q, b, -1)
+		add(b, p, 1)
+		add(b, q, -1)
+		rhs[b] += device.SourceValueAt(d, tm)
+	}
+	for _, d := range e.isrc {
+		p, q := e.node(d.Nets[0]), e.node(d.Nets[1])
+		v := device.SourceValueAt(d, tm)
+		if p >= 0 {
+			rhs[p] -= v
+		}
+		if q >= 0 {
+			rhs[q] += v
+		}
+	}
+	for _, d := range e.vcvs {
+		p, q := e.node(d.Nets[0]), e.node(d.Nets[1])
+		cp, cn := e.node(d.Nets[2]), e.node(d.Nets[3])
+		b := e.branchOf[strings.ToLower(d.Name)]
+		g := d.Param("gain", 1)
+		add(p, b, 1)
+		add(q, b, -1)
+		add(b, p, 1)
+		add(b, q, -1)
+		add(b, cp, -g)
+		add(b, cn, g)
+	}
+	for _, d := range e.vccs {
+		p, q := e.node(d.Nets[0]), e.node(d.Nets[1])
+		cp, cn := e.node(d.Nets[2]), e.node(d.Nets[3])
+		g := d.Param("gain", 0)
+		add(p, cp, g)
+		add(p, cn, -g)
+		add(q, cp, -g)
+		add(q, cn, g)
+	}
+}

@@ -1,0 +1,13 @@
+* self-biased common-source stage
+Vdd vdd 0 0.8
+Vin ins 0 DC 0 AC 1
+Cc ins in 1n
+Rf out in 10meg
+Vbp bp 0 0.42
+M1 out in 0 0 nmos nfin=8 nf=8 m=1
+M2 out bp vdd vdd pmos nfin=8 nf=16 m=1
+Cl out 0 20f
+.op
+.ac dec 10 1meg 1t
+.measure ac gdc find vdb(out) at=10meg
+.end

@@ -1,0 +1,26 @@
+* five-transistor OTA (hand-written deck for spicetool)
+.param vddv=0.8 vcm=0.45
+Vdd vdd 0 vddv
+Vip inp 0 DC vcm AC 0.5
+Vin inn 0 DC vcm AC 0.5 180
+Ib vdd bias 40u
+
+* tail mirror
+Mt1 bias bias 0 0 nmos nfin=6 nf=10 m=2
+Mt2 tail bias 0 0 nmos nfin=6 nf=10 m=4
+
+* input pair
+M1 o1  inp tail 0 nmos nfin=6 nf=10 m=4
+M2 out inn tail 0 nmos nfin=6 nf=10 m=4
+
+* active PMOS mirror load
+M3 o1  o1 vdd vdd pmos nfin=8 nf=10 m=2
+M4 out o1 vdd vdd pmos nfin=8 nf=10 m=2
+
+Cl out 0 20f
+
+.op
+.ac dec 10 1e5 1e12
+.measure ac gdc find vdb(out) at=1meg
+.measure ac ugf when vdb(out)=0
+.end

@@ -1,0 +1,14 @@
+* three-stage ring oscillator
+.subckt inv in out vdd
+Mp out in vdd vdd pmos nfin=4 nf=1 m=1
+Mn out in 0 0 nmos nfin=4 nf=1 m=1
+Cload out 0 4f
+.ends
+Vdd vdd 0 0.8
+X1 n1 n2 vdd inv
+X2 n2 n3 vdd inv
+X3 n3 n1 vdd inv
+.ic v(n1)=0.8
+.tran 2p 3n uic
+.measure tran swing pp v(n1) from=1n to=3n
+.end
