@@ -8,6 +8,8 @@
 //	primopt -table 3                      # reproduce a numbered table
 //	primopt -table fig2                   # the motivating figure
 //	primopt -table all                    # everything (slow)
+//	primopt verify -circuit ota5t         # DRC/LVS the optimized layout
+//	primopt verify -circuit rovco -mode all -format json
 package main
 
 import (
@@ -33,6 +35,9 @@ var (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "verify" {
+		os.Exit(runVerifyCmd(os.Args[2:]))
+	}
 	circuitName := flag.String("circuit", "", "benchmark circuit: csamp, ota5t, strongarm, rovco, telescopic")
 	mode := flag.String("mode", "all", "schematic, conventional, optimized, manual, or all")
 	table := flag.String("table", "", "paper artifact: fig2, 1..8, ablations, all")

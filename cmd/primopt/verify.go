@@ -1,0 +1,93 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"primopt/internal/flow"
+	"primopt/internal/pdk"
+)
+
+// runVerifyCmd implements the `primopt verify` subcommand: run the
+// layout flow (no post-layout simulation) and report the DRC/LVS
+// result. Exit status: 0 clean, 1 violations found, 2 usage or flow
+// error.
+func runVerifyCmd(args []string) int {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	circuitName := fs.String("circuit", "", "benchmark circuit: csamp, ota5t, strongarm, rovco, telescopic")
+	modeName := fs.String("mode", "optimized", "conventional, optimized, manual, or all")
+	format := fs.String("format", "text", "output format: text or json")
+	stages := fs.Int("stages", 8, "RO-VCO stage count")
+	seed := fs.Int64("seed", 1, "placement seed")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: primopt verify -circuit <name> [-mode m] [-format text|json]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *circuitName == "" {
+		fs.Usage()
+		return 2
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "primopt verify: unknown format %q\n", *format)
+		return 2
+	}
+
+	tech := pdk.Default()
+	if err := tech.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "primopt verify:", err)
+		return 2
+	}
+	bm, err := buildCircuit(tech, *circuitName, *stages)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "primopt verify:", err)
+		return 2
+	}
+
+	modes := map[string]flow.Mode{
+		"conventional": flow.Conventional,
+		"optimized":    flow.Optimized,
+		"manual":       flow.Manual,
+	}
+	var order []flow.Mode
+	if *modeName == "all" {
+		order = []flow.Mode{flow.Conventional, flow.Optimized, flow.Manual}
+	} else {
+		m, ok := modes[strings.ToLower(*modeName)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "primopt verify: unknown mode %q\n", *modeName)
+			return 2
+		}
+		order = []flow.Mode{m}
+	}
+
+	status := 0
+	for _, m := range order {
+		rep, err := flow.Verify(tech, bm, m, flow.Params{Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "primopt verify: %s/%v: %v\n", bm.Name, m, err)
+			return 2
+		}
+		if *format == "json" {
+			data, err := rep.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "primopt verify:", err)
+				return 2
+			}
+			fmt.Println(string(data))
+		} else {
+			fmt.Printf("%-12s %s\n", m, rep.Summary())
+			for _, v := range rep.Violations {
+				fmt.Printf("  %s\n", v.String())
+			}
+		}
+		if !rep.Clean() {
+			status = 1
+		}
+	}
+	return status
+}

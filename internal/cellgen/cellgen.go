@@ -104,6 +104,14 @@ type Junction struct {
 	PD, PS float64 // drain/source diffusion perimeter, nm
 }
 
+// UnitPlace records where one unit of the pattern landed: which
+// device it realizes and its grid slot in the row/column raster.
+type UnitPlace struct {
+	Dev      int   // 0 = device A, 1 = device B
+	Row, Col int   // raster slot (serpentine already resolved)
+	X        int64 // left edge of the unit's gate array, nm
+}
+
 // Layout is one generated primitive layout.
 type Layout struct {
 	Spec   Spec
@@ -129,6 +137,17 @@ type Layout struct {
 
 	// SharedDiffusion reports whether adjacent units abut (even nf).
 	SharedDiffusion bool
+
+	// Concrete unit raster, recorded so geometry consumers
+	// (verification, rendering) rebuild exact shapes without
+	// re-deriving the pattern expansion. RowH is the height of one
+	// row; UnitW the gate-array width of one unit; EndExt the row-end
+	// extension (end diffusion plus dummies); Gap the space between
+	// non-abutting units.
+	Rows, Cols  int
+	RowH, UnitW int64
+	EndExt, Gap int64
+	Units       []UnitPlace
 }
 
 // Constraints bound the enumeration.
@@ -369,7 +388,8 @@ func Generate(t *pdk.Tech, spec Spec, cfg Config) (*Layout, error) {
 		starts[i] = endExt + int64(colOf[i])*(unitW+gap)
 	}
 	rowW := endExt + int64(cols)*unitW + int64(cols-1)*gap + endExt
-	rowH := int64(rows) * (int64(cfg.NFin)*t.FinPitch + rowOverheadH)
+	perRowH := int64(cfg.NFin)*t.FinPitch + rowOverheadH
+	rowH := int64(rows) * perRowH
 
 	lay := &Layout{
 		Spec:            spec,
@@ -377,8 +397,17 @@ func Generate(t *pdk.Tech, spec Spec, cfg Config) (*Layout, error) {
 		BBox:            geom.Rect{X0: 0, Y0: 0, X1: rowW, Y1: rowH},
 		SharedDiffusion: shared,
 		Wires:           make(map[string]*WireEst),
+		Rows:            rows,
+		Cols:            cols,
+		RowH:            perRowH,
+		UnitW:           unitW,
+		EndExt:          endExt,
+		Gap:             gap,
 	}
 	lay.AspectRatio = lay.BBox.AspectRatio()
+	for i, dev := range seq {
+		lay.Units = append(lay.Units, UnitPlace{Dev: dev, Row: rowOf[i], Col: colOf[i], X: starts[i]})
+	}
 
 	// Per-unit LDE contexts. With shared diffusion each row is one
 	// continuous strip, so stress distances reach the row ends;

@@ -24,10 +24,12 @@ import (
 	"sync"
 	"time"
 
+	"primopt/internal/cellgen"
 	"primopt/internal/circuit"
 	"primopt/internal/circuits"
 	"primopt/internal/cost"
 	"primopt/internal/extract"
+	"primopt/internal/geom"
 	"primopt/internal/optimize"
 	"primopt/internal/pdk"
 	"primopt/internal/place"
@@ -35,6 +37,7 @@ import (
 	"primopt/internal/primlib"
 	"primopt/internal/route"
 	"primopt/internal/spice"
+	"primopt/internal/verify"
 )
 
 // Mode selects the methodology to run.
@@ -57,6 +60,24 @@ func (m Mode) String() string {
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
 
+// VerifyMode selects what the flow does with the static verification
+// pass that runs after placement and routing.
+type VerifyMode int
+
+// Verification dispositions: skip entirely, compute and record the
+// report, or fail the run on any violation.
+const (
+	VerifyOff VerifyMode = iota
+	VerifyWarn
+	VerifyFail
+)
+
+// VerifyParams configures the in-flow verification pass.
+type VerifyParams struct {
+	Mode    VerifyMode
+	Options verify.Options
+}
+
 // Params tunes the flow.
 type Params struct {
 	Seed     int64
@@ -64,6 +85,7 @@ type Params struct {
 	Port     portopt.Params
 	Place    place.Params
 	Route    route.Params
+	Verify   VerifyParams
 }
 
 // Result is one flow run.
@@ -80,6 +102,9 @@ type Result struct {
 	Routing     *route.Result
 	NetWires    map[string]int
 	Netlist     *circuit.Netlist // the assembled post-layout netlist
+	// Verify holds the DRC/LVS report when verification ran
+	// (Params.Verify.Mode != VerifyOff).
+	Verify *verify.Report
 }
 
 // chosen is the per-instance layout decision feeding assembly.
@@ -107,6 +132,32 @@ func Run(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params) (*Result, err
 		return res, nil
 	}
 
+	choices, err := runLayout(t, bm, mode, p, res)
+	if err != nil {
+		return nil, err
+	}
+
+	// Assemble and evaluate the post-layout netlist.
+	nl, err := Assemble(t, bm, choices)
+	if err != nil {
+		return nil, err
+	}
+	res.Netlist = nl
+	vals, err := bm.Eval(t, nl)
+	if err != nil {
+		return nil, fmt.Errorf("flow: %s post-layout eval (%v): %w", bm.Name, mode, err)
+	}
+	res.Metrics = vals
+	return res, nil
+}
+
+// runLayout executes the layout portion of one methodology —
+// primitive selection, placement, global routing, port optimization,
+// and static verification — filling res as it goes and returning the
+// per-instance choices that feed assembly. Golden verification tests
+// call this directly to check geometry without paying for post-layout
+// simulation.
+func runLayout(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params, res *Result) (map[string]*chosen, error) {
 	op, err := bm.SchematicOP(t)
 	if err != nil {
 		return nil, fmt.Errorf("flow: %s schematic OP: %w", bm.Name, err)
@@ -213,18 +264,60 @@ func Run(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params) (*Result, err
 	}
 	res.NetWires = netWires
 
-	// Assemble and evaluate the post-layout netlist.
-	nl, err := Assemble(t, bm, choices)
-	if err != nil {
+	if err := runVerification(t, bm, choices, res, p); err != nil {
 		return nil, err
 	}
-	res.Netlist = nl
-	vals, err := bm.Eval(t, nl)
-	if err != nil {
-		return nil, fmt.Errorf("flow: %s post-layout eval (%v): %w", bm.Name, mode, err)
+	return choices, nil
+}
+
+// runVerification runs the per-primitive and top-level DRC/LVS checks
+// over the chosen layouts and the routed assembly. VerifyWarn records
+// the report on the result; VerifyFail additionally aborts the run on
+// any violation.
+func runVerification(t *pdk.Tech, bm *circuits.Benchmark, choices map[string]*chosen, res *Result, p Params) error {
+	if p.Verify.Mode == VerifyOff {
+		return nil
 	}
-	res.Metrics = vals
-	return res, nil
+	rep := &verify.Report{Target: bm.Name}
+	layouts := map[string]*cellgen.Layout{}
+	for _, name := range sortedKeys(choices) {
+		ch := choices[name]
+		layouts[name] = ch.ex.Layout
+		rep.Merge(verify.CheckCell(t, name, ch.ex.Layout, p.Verify.Options))
+	}
+	rep.Merge(verify.CheckTop(t, verify.TopInput{
+		Bench:     bm,
+		Placement: res.Placement,
+		Routing:   res.Routing,
+		Layouts:   layouts,
+		Region:    routeRegion(res.Placement),
+		CellSize:  p.Route.CellSize,
+		MinLayer:  p.Route.MinLayer,
+	}, p.Verify.Options))
+	res.Verify = rep
+	if p.Verify.Mode == VerifyFail && !rep.Clean() {
+		return fmt.Errorf("flow: %s: %s", bm.Name, rep.Summary())
+	}
+	return nil
+}
+
+// Verify runs the layout portion of one methodology — through
+// placement, routing, and port optimization — and returns the static
+// verification report without assembling or simulating the result.
+// The report is returned (when available) even when the run errors,
+// so callers can print what was found before a VerifyFail abort.
+func Verify(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params) (*verify.Report, error) {
+	if mode == Schematic {
+		return nil, fmt.Errorf("flow: schematic mode has no layout to verify")
+	}
+	if p.Verify.Mode == VerifyOff {
+		p.Verify.Mode = VerifyWarn
+	}
+	res := &Result{Mode: mode, Benchmark: bm.Name}
+	if _, err := runLayout(t, bm, mode, p, res); err != nil {
+		return res.Verify, err
+	}
+	return res.Verify, nil
 }
 
 // conventionalChoices picks the most compact legal configuration per
@@ -404,9 +497,16 @@ func runPlacement(bm *circuits.Benchmark, choices map[string]*chosen, res *Resul
 	return pl, nil
 }
 
+// routeRegion is the routing window around a placement — shared by
+// the router invocation and the verifier's re-materialization so both
+// see identical gcell coordinates.
+func routeRegion(pl *place.Placement) geom.Rect {
+	return pl.BBox.Expand(pl.BBox.W()/10 + 200)
+}
+
 // runRouting routes the benchmark's signal nets over the placement.
 func runRouting(t *pdk.Tech, bm *circuits.Benchmark, pl *place.Placement, p Params) (*route.Result, error) {
-	region := pl.BBox.Expand(pl.BBox.W()/10 + 200)
+	region := routeRegion(pl)
 	var reqs []route.NetReq
 	for _, netName := range bm.RoutedNets {
 		nn := circuit.NormalizeNet(netName)

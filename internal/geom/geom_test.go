@@ -215,3 +215,115 @@ func TestSnapProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Zero-area rectangles (degenerate lines and points) must behave as
+// empty everywhere: they are produced transiently by Intersect and by
+// Expand with negative margins, and the DRC sweep must never see them
+// as real geometry.
+func TestZeroAreaRects(t *testing.T) {
+	cases := []Rect{
+		{3, 3, 3, 3}, // point
+		{0, 0, 5, 0}, // horizontal line
+		{0, 0, 0, 5}, // vertical line
+		{4, 1, 2, 1}, // inverted X with zero H
+	}
+	full := Rect{-10, -10, 10, 10}
+	for _, z := range cases {
+		if !z.Empty() {
+			t.Errorf("%v should be empty", z)
+		}
+		if z.Area() != 0 {
+			t.Errorf("%v Area = %d, want 0", z, z.Area())
+		}
+		if z.Intersects(full) || full.Intersects(z) {
+			t.Errorf("%v intersects a full rect", z)
+		}
+		if got := full.Intersect(z); !got.Empty() {
+			t.Errorf("full.Intersect(%v) = %v, want empty", z, got)
+		}
+		if got := full.Union(z); got != full {
+			t.Errorf("full.Union(%v) = %v, want %v", z, got, full)
+		}
+		if z.Contains(Point{z.X0, z.Y0}) {
+			t.Errorf("%v contains its own corner despite zero area", z)
+		}
+	}
+	// Expand past collapse produces an empty rect, not a flipped one.
+	if got := (Rect{0, 0, 4, 4}).Expand(-3); !got.Empty() {
+		t.Errorf("over-shrunk rect = %v, want empty", got)
+	}
+}
+
+// Touching rectangles share an edge or corner but no interior: they
+// must not intersect (half-open semantics) while their union is still
+// the joint bounding box. This is exactly the abutting-wire case the
+// connectivity extractor distinguishes from a true overlap.
+func TestTouchingRects(t *testing.T) {
+	a := Rect{0, 0, 4, 4}
+	cases := []struct {
+		name string
+		b    Rect
+	}{
+		{"right edge", Rect{4, 0, 8, 4}},
+		{"top edge", Rect{0, 4, 4, 8}},
+		{"corner", Rect{4, 4, 8, 8}},
+		{"partial edge", Rect{4, 2, 8, 6}},
+	}
+	for _, c := range cases {
+		if a.Intersects(c.b) || c.b.Intersects(a) {
+			t.Errorf("%s: touching rects %v %v reported overlapping", c.name, a, c.b)
+		}
+		if got := a.Intersect(c.b); !got.Empty() {
+			t.Errorf("%s: Intersect = %v, want empty", c.name, got)
+		}
+		want := Rect{0, 0, max64(a.X1, c.b.X1), max64(a.Y1, c.b.Y1)}
+		if got := a.Union(c.b); got != want {
+			t.Errorf("%s: Union = %v, want %v", c.name, got, want)
+		}
+	}
+	// One-nm overlap is the smallest true intersection.
+	o := Rect{3, 3, 8, 8}
+	if !a.Intersects(o) {
+		t.Error("1nm-overlap rects reported disjoint")
+	}
+	if got := a.Intersect(o); got != (Rect{3, 3, 4, 4}) {
+		t.Errorf("1nm Intersect = %v", got)
+	}
+}
+
+// Union and intersection of track-pitch-aligned rectangles must stay
+// on the pitch grid: routing runs are built by merging per-track
+// intervals and any off-grid drift would cascade into DRC grid
+// violations.
+func TestPitchBoundaryUnionIntersect(t *testing.T) {
+	const pitch = 40
+	// Two wire segments on the same track, abutting at a pitch multiple.
+	s1 := Rect{0 * pitch, 90, 3 * pitch, 110}
+	s2 := Rect{3 * pitch, 90, 5 * pitch, 110}
+	u := s1.Union(s2)
+	if u != (Rect{0, 90, 5 * pitch, 110}) {
+		t.Errorf("abutting union = %v", u)
+	}
+	for _, v := range []int64{u.X0, u.X1} {
+		if SnapDown(v, pitch) != v {
+			t.Errorf("union X edge %d fell off the %dnm pitch", v, pitch)
+		}
+	}
+	if s1.Intersects(s2) {
+		t.Error("abutting pitch-aligned segments reported overlapping")
+	}
+	// Overlapping by exactly one pitch: intersection edges stay aligned.
+	s3 := Rect{2 * pitch, 90, 6 * pitch, 110}
+	i := s1.Intersect(s3)
+	if i != (Rect{2 * pitch, 90, 3 * pitch, 110}) {
+		t.Errorf("pitch overlap Intersect = %v", i)
+	}
+	if SnapUp(i.X0, pitch) != i.X0 || SnapDown(i.X1, pitch) != i.X1 {
+		t.Errorf("intersection edges %d..%d off pitch", i.X0, i.X1)
+	}
+	// SnapUp/SnapDown bracket an interior point onto the two boundaries.
+	mid := int64(2*pitch + 17)
+	if SnapDown(mid, pitch) != 2*pitch || SnapUp(mid, pitch) != 3*pitch {
+		t.Errorf("snap bracket of %d = %d..%d", mid, SnapDown(mid, pitch), SnapUp(mid, pitch))
+	}
+}

@@ -34,11 +34,20 @@ type Segment struct {
 	From, To geom.Point // gcell coordinates scaled back to nm
 }
 
+// ViaPoint records one layer change of a route: a via stack between
+// Lower and Lower+1 at a gcell center. Verification rebuilds the
+// concrete via cuts from these.
+type ViaPoint struct {
+	At    geom.Point
+	Lower pdk.Layer
+}
+
 // NetRoute is the routing result for one net.
 type NetRoute struct {
 	Name          string
 	LengthByLayer map[pdk.Layer]int64 // nm
 	Vias          int
+	ViaPoints     []ViaPoint
 	Segments      []Segment
 }
 
@@ -249,9 +258,11 @@ func (q *pq) Pop() interface{} {
 	return it
 }
 
-// astar searches from the existing tree to the pin's gcell (any
-// layer). Wrong-direction edges cost extra; vias cost ViaCost;
-// congested edges cost more.
+// astar searches from the existing tree to the pin's gcell. The goal
+// must be reached at MinLayer — pins are cell port columns on the
+// lowest routing layer, so every branch ends with a well-defined
+// pin-layer landing. Wrong-direction edges cost extra; vias cost
+// ViaCost; congested edges cost more.
 func (r *router) astar(tree map[node]bool, region geom.Rect, pin Pin) ([]node, error) {
 	tx, ty := r.gcell(region, pin.At)
 	open := &pq{}
@@ -268,7 +279,7 @@ func (r *router) astar(tree map[node]bool, region geom.Rect, pin Pin) ([]node, e
 		if g, ok := gScore[cur.n]; ok && cur.g > g {
 			continue
 		}
-		if cur.n.x == tx && cur.n.y == ty {
+		if cur.n.x == tx && cur.n.y == ty && cur.n.l == r.p.MinLayer {
 			goal = cur.n
 			found = true
 			break
@@ -362,6 +373,11 @@ func (r *router) commit(nr *NetRoute, path []node, region geom.Rect) {
 		a, b := path[i], path[i-1]
 		if a.l != b.l {
 			nr.Vias++
+			lower := a.l
+			if b.l < lower {
+				lower = b.l
+			}
+			nr.ViaPoints = append(nr.ViaPoints, ViaPoint{At: toPt(a), Lower: lower})
 			continue
 		}
 		nr.LengthByLayer[a.l] += cs

@@ -1,0 +1,313 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"primopt/internal/cellgen"
+	"primopt/internal/geom"
+	"primopt/internal/pdk"
+)
+
+// Cell materialization: a cellgen.Layout is an estimate (bounding box
+// plus wire statistics); this file rebuilds the concrete geometry the
+// estimate stands for, so the DRC/LVS engines have rectangles to
+// check. The realized cell follows the generator's own conventions:
+//
+//   - per row, a gate-strap band (M1 verticals on every other finger,
+//     dropping onto one M2 gate spine per device) above nothing, then
+//     the diffusion band with one M1 strap per S/D contact column,
+//     dropping onto per-net M2 spines on successive tracks;
+//   - poly fingers (and edge dummies) crossing the diffusion band;
+//   - one M3 port column per terminal net on the cell edge tracks,
+//     tying the net's spines together across rows and exposing the
+//     terminal to the top level (KindPin).
+//
+// The generator's NWires/BusTracks mesh replication is an electrical
+// tuning knob (parallel copies divide R); geometrically the cell is
+// materialized single-track, which is the layout skeleton all copies
+// share.
+
+// CellGeom is a materialized primitive layout.
+type CellGeom struct {
+	Shapes []Shape
+	// Ports maps each terminal to its M3 port column rectangle (in
+	// cell coordinates); the top-level materializer attaches global
+	// routes here.
+	Ports map[string]geom.Rect
+}
+
+// cellTerminals lists the terminal nets of a layout in deterministic
+// order, skipping the per-side strap groups ("s_a"/"s_b") that have
+// no geometry of their own.
+func cellTerminals(lay *cellgen.Layout) []string {
+	var out []string
+	for w := range lay.Wires {
+		if w == "s_a" || w == "s_b" {
+			continue
+		}
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// spineKey identifies one M2 spine: a net's track in a row.
+type spineKey struct {
+	row int
+	net string
+}
+
+// spineExt accumulates a spine's horizontal extent and its track.
+type spineExt struct {
+	x0, x1 int64
+	y      int64 // track center
+}
+
+// MaterializeCell rebuilds concrete shapes for a layout estimate.
+func MaterializeCell(t *pdk.Tech, lay *cellgen.Layout) (*CellGeom, error) {
+	if len(lay.Units) == 0 || lay.Rows < 1 || lay.Cols < 1 {
+		return nil, fmt.Errorf("verify: layout %s has no recorded unit placement", lay.Spec.Name)
+	}
+	cfg := lay.Config
+	finH := int64(cfg.NFin) * t.FinPitch
+	pair := lay.Spec.Structure == cellgen.Pair
+
+	// Per-net diffusion-band track index (track k centers at
+	// row+140+40k) and gate-band track centers (row+36, row+76).
+	sdTrack := map[string]int{"s": 0, "d": 1, "d_a": 1, "d_b": 2}
+	needTracks := 2
+	if pair {
+		needTracks = 3
+	}
+	if have := int(finH / 40); have < needTracks {
+		return nil, fmt.Errorf("verify: layout %s: %d fins leave %d S/D tracks, need %d",
+			lay.Spec.Name, cfg.NFin, have, needTracks)
+	}
+
+	drainNet := func(dev int) string {
+		if !pair {
+			return "d"
+		}
+		if dev == 0 {
+			return "d_a"
+		}
+		return "d_b"
+	}
+	gateNet := func(dev int) string {
+		if !pair {
+			return "g"
+		}
+		if dev == 0 {
+			return "g_a"
+		}
+		return "g_b"
+	}
+
+	g := &CellGeom{Ports: map[string]geom.Rect{}}
+	add := func(s Shape) { g.Shapes = append(g.Shapes, s) }
+
+	w1 := t.Metals[0].Width // M1 strap width
+	h1 := w1 / 2
+	w2 := t.Metals[1].Width / 2 // M2 spine half-width
+	cut := int64(16)            // via cut edge
+	half := cut / 2
+	polyHalf := t.GateL / 2
+
+	spines := map[spineKey]*spineExt{}
+	touchSpine := func(row int, net string, trackY, x0, x1 int64) {
+		k := spineKey{row, net}
+		sp := spines[k]
+		if sp == nil {
+			sp = &spineExt{x0: x0, x1: x1, y: trackY}
+			spines[k] = sp
+			return
+		}
+		if x0 < sp.x0 {
+			sp.x0 = x0
+		}
+		if x1 > sp.x1 {
+			sp.x1 = x1
+		}
+	}
+
+	for _, u := range lay.Units {
+		oy := int64(u.Row) * lay.RowH
+		gateBand := geom.Rect{Y0: oy + 16, Y1: oy + 96}
+		diffBand := geom.Rect{Y0: oy + 120, Y1: oy + 120 + finH}
+		gy := oy + 36
+		if pair && u.Dev == 1 {
+			gy = oy + 76
+		}
+
+		// S/D contact straps on every contact column j = 0..nf; even
+		// columns are source, odd are drain. With shared diffusion the
+		// boundary strap is emitted by the left neighbor already.
+		for j := 0; j <= cfg.NF; j++ {
+			if lay.SharedDiffusion && u.Col > 0 && j == 0 {
+				continue
+			}
+			x := u.X + int64(j)*t.PolyPitch
+			net := "s"
+			if j%2 == 1 {
+				net = drainNet(u.Dev)
+			}
+			add(Shape{Layer: 0, Net: net, Ref: "strap",
+				Rect: geom.Rect{X0: x - h1, Y0: diffBand.Y0, X1: x + h1, Y1: diffBand.Y1}})
+			ty := oy + 140 + 40*int64(sdTrack[net])
+			add(Shape{Layer: ViaLayer(0), Net: net, Ref: "v0",
+				Rect: geom.Rect{X0: x - half, Y0: ty - half, X1: x + half, Y1: ty + half}})
+			touchSpine(u.Row, net, ty, x-half-2-w2, x+half+2+w2)
+		}
+
+		// Gate straps every other finger, vias onto the device's gate
+		// spine track; poly fingers cross both bands.
+		for j := 0; j < cfg.NF; j++ {
+			x := u.X + int64(j)*t.PolyPitch
+			pc := x + t.PolyPitch/2 // finger center (odd)
+			add(Shape{Layer: LayerPoly,
+				Rect: geom.Rect{X0: pc - polyHalf, Y0: oy + 92, X1: pc + polyHalf, Y1: diffBand.Y1 + 4}})
+			if j%2 != 0 {
+				continue
+			}
+			net := gateNet(u.Dev)
+			add(Shape{Layer: 0, Net: net, Ref: "gstrap",
+				Rect: geom.Rect{X0: x + 16, Y0: gateBand.Y0, X1: x + 38, Y1: gateBand.Y1}})
+			vc := x + 26 // even cut center inside the 22-wide strap
+			add(Shape{Layer: ViaLayer(0), Net: net, Ref: "v0",
+				Rect: geom.Rect{X0: vc - half, Y0: gy - half, X1: vc + half, Y1: gy + half}})
+			touchSpine(u.Row, net, gy, vc-half-2-w2, vc+half+2+w2)
+		}
+
+		// Diffusion: one rect per unit when diffusion is unshared.
+		if !lay.SharedDiffusion {
+			add(Shape{Layer: LayerDiff,
+				Rect: geom.Rect{X0: u.X - t.DiffExtE, Y0: diffBand.Y0, X1: u.X + lay.UnitW + t.DiffExtE, Y1: diffBand.Y1}})
+		}
+	}
+
+	rowW := lay.BBox.X1
+	for r := 0; r < lay.Rows; r++ {
+		oy := int64(r) * lay.RowH
+		// Shared diffusion: one continuous strip per row.
+		if lay.SharedDiffusion {
+			add(Shape{Layer: LayerDiff, Rect: geom.Rect{
+				X0: lay.EndExt - t.DiffExtE, Y0: oy + 120,
+				X1: rowW - lay.EndExt + t.DiffExtE, Y1: oy + 120 + finH}})
+		}
+		// Edge dummy fingers, mirrored on both row ends.
+		for k := 1; k <= cfg.Dummies; k++ {
+			c := lay.EndExt - int64(k)*t.PolyPitch + t.PolyPitch/2
+			for _, pc := range []int64{c, rowW - c} {
+				add(Shape{Layer: LayerPoly,
+					Rect: geom.Rect{X0: pc - polyHalf, Y0: oy + 92, X1: pc + polyHalf, Y1: oy + 124 + finH}})
+			}
+		}
+	}
+
+	// M3 port columns: terminals alternate left/right edge tracks.
+	// Centers sit at half-width offsets so edges stay on the 2nm grid.
+	terms := cellTerminals(lay)
+	w3 := t.Metals[2].Width // 22: odd centers, even edges
+	p3 := t.Metals[2].Pitch
+	colX := map[string]int64{}
+	for i, w := range terms {
+		k := int64(i / 2)
+		if i%2 == 0 {
+			colX[w] = 26 + w3/2 + k*p3 // odd center, even edges
+		} else {
+			colX[w] = rowW - 26 - w3/2 - k*p3
+		}
+	}
+	for _, w := range terms {
+		cx := colX[w]
+		var tracks []int64
+		for k, sp := range spines {
+			if k.net != w {
+				continue
+			}
+			tracks = append(tracks, sp.y)
+			// Extend the spine to reach under its column.
+			if cx-w3/2 < sp.x0 {
+				sp.x0 = cx - w3/2
+			}
+			if cx+w3/2 > sp.x1 {
+				sp.x1 = cx + w3/2
+			}
+			// v1 cut, snapped to the grid inside the odd-centered column.
+			add(Shape{Layer: ViaLayer(1), Net: w, Ref: "v1",
+				Rect: geom.Rect{X0: cx - half - 1, Y0: sp.y - half, X1: cx + half - 1, Y1: sp.y + half}})
+		}
+		if len(tracks) == 0 {
+			return nil, fmt.Errorf("verify: layout %s: terminal %s has no spine", lay.Spec.Name, w)
+		}
+		lo, hi := tracks[0], tracks[0]
+		for _, y := range tracks[1:] {
+			if y < lo {
+				lo = y
+			}
+			if y > hi {
+				hi = y
+			}
+		}
+		col := geom.Rect{X0: cx - w3/2, Y0: lo - 12, X1: cx + w3/2, Y1: hi + 10}
+		g.Ports[w] = col
+		add(Shape{Layer: 2, Net: w, Kind: KindPin, Ref: w, Rect: col})
+	}
+
+	// Emit the spines.
+	keys := make([]spineKey, 0, len(spines))
+	for k := range spines {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].row != keys[j].row {
+			return keys[i].row < keys[j].row
+		}
+		return keys[i].net < keys[j].net
+	})
+	for _, k := range keys {
+		sp := spines[k]
+		add(Shape{Layer: 1, Net: k.net, Ref: "spine",
+			Rect: geom.Rect{X0: sp.x0, Y0: sp.y - w2, X1: sp.x1, Y1: sp.y + w2}})
+	}
+	return g, nil
+}
+
+// CheckCell verifies one primitive layout: materializes it, runs the
+// DRC sweep against the cell boundary, extracts connectivity, and
+// checks the realized fin count against the specification.
+func CheckCell(t *pdk.Tech, name string, lay *cellgen.Layout, opts Options) *Report {
+	rep := &Report{Target: name}
+	g, err := MaterializeCell(t, lay)
+	if err != nil {
+		rep.Add(Violation{Rule: RuleDevice, Cell: name, Msg: err.Error()})
+		return rep
+	}
+	rep.Shapes = len(g.Shapes)
+	rep.Violations = append(rep.Violations,
+		DRC(t, opts.rules(t), lay.BBox, g.Shapes, name)...)
+	rep.Violations = append(rep.Violations, checkConnectivity(t, g.Shapes, name, nil)...)
+
+	// Device check: the materialized fin count per logical device must
+	// equal the specification (units × nfin × nf).
+	fins := map[int]int{}
+	for _, u := range lay.Units {
+		fins[u.Dev] += lay.Config.NFin * lay.Config.NF
+	}
+	want := map[int]int{0: lay.Spec.TotalFins}
+	if lay.Spec.Structure == cellgen.Pair {
+		ratio := lay.Spec.RatioB
+		if ratio < 1 {
+			ratio = 1
+		}
+		want[1] = lay.Spec.TotalFins * ratio
+	}
+	for dev, w := range want {
+		if fins[dev] != w {
+			rep.Add(Violation{Rule: RuleDevice, Cell: name,
+				Msg: fmt.Sprintf("device %c realizes %d fins, schematic wants %d", 'A'+dev, fins[dev], w)})
+		}
+	}
+	return rep
+}

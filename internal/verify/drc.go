@@ -1,0 +1,204 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"primopt/internal/geom"
+	"primopt/internal/pdk"
+)
+
+// The DRC engine. All pairwise rules run as a sweep-line over
+// x-sorted shape edges per layer: a shape only ever interacts with
+// shapes whose x-interval (grown by the layer's spacing) overlaps
+// its own, so the active set stays small and the whole pass is
+// O(n log n + k) in the shape and interaction counts.
+
+// DRC checks shapes against the rule deck. boundary, when non-empty,
+// is the placement outline shapes must stay inside. cell tags the
+// emitted violations.
+func DRC(t *pdk.Tech, rules *Rules, boundary geom.Rect, shapes []Shape, cell string) []Violation {
+	var out []Violation
+	add := func(v Violation) {
+		v.Cell = cell
+		out = append(out, v)
+	}
+
+	byLayer := map[LayerID][]int{}
+	for i, s := range shapes {
+		if s.Rect.Empty() {
+			add(Violation{Rule: RuleWidth, Layer: s.Layer.Name(t), Rects: []geom.Rect{s.Rect},
+				Msg: fmt.Sprintf("empty shape (%s)", s.Ref)})
+			continue
+		}
+		byLayer[s.Layer] = append(byLayer[s.Layer], i)
+
+		// Manufacturing grid: every edge on the grid.
+		if offGrid(s.Rect, rules.Grid) {
+			add(Violation{Rule: RuleGrid, Layer: s.Layer.Name(t), Rects: []geom.Rect{s.Rect},
+				Nets: nets1(s), Msg: fmt.Sprintf("edge off %dnm grid (%s)", rules.Grid, s.Ref)})
+		}
+		// Boundary.
+		if !boundary.Empty() && !containsRect(boundary, s.Rect) {
+			add(Violation{Rule: RuleBoundary, Layer: s.Layer.Name(t), Rects: []geom.Rect{s.Rect},
+				Nets: nets1(s), Msg: fmt.Sprintf("shape outside boundary %v (%s)", boundary, s.Ref)})
+		}
+		// Min width: smallest dimension of the shape.
+		if w := rules.MinWidth[s.Layer]; w > 0 {
+			if s.Rect.W() < w || s.Rect.H() < w {
+				add(Violation{Rule: RuleWidth, Layer: s.Layer.Name(t), Rects: []geom.Rect{s.Rect},
+					Nets: nets1(s), Msg: fmt.Sprintf("width %dx%d below %d (%s)", s.Rect.W(), s.Rect.H(), w, s.Ref)})
+			}
+		}
+	}
+
+	// Pairwise rules per layer: shorts and spacing.
+	layers := make([]LayerID, 0, len(byLayer))
+	for l := range byLayer {
+		layers = append(layers, l)
+	}
+	sort.Slice(layers, func(i, j int) bool { return layers[i] < layers[j] })
+	for _, l := range layers {
+		space := rules.MinSpace[l]
+		idx := byLayer[l]
+		sort.Slice(idx, func(a, b int) bool { return shapes[idx[a]].Rect.X0 < shapes[idx[b]].Rect.X0 })
+		var active []int
+		for _, i := range idx {
+			si := shapes[i]
+			// Prune shapes that can no longer interact.
+			keep := active[:0]
+			for _, j := range active {
+				if shapes[j].Rect.X1+space > si.Rect.X0 {
+					keep = append(keep, j)
+				}
+			}
+			active = append(keep, i)
+			for _, j := range active[:len(keep)] {
+				sj := shapes[j]
+				if si.Net == sj.Net && si.Net != "" {
+					continue // same net: abutment and overlap both legal
+				}
+				if si.Rect.Intersects(sj.Rect) {
+					// Overlap of distinct labeled nets is a short; an
+					// unlabeled shape overlapping anything carries no
+					// electrical meaning.
+					if si.Net != "" && sj.Net != "" {
+						add(Violation{Rule: RuleShort, Layer: l.Name(t),
+							Rects: []geom.Rect{si.Rect, sj.Rect}, Nets: nets2(si, sj),
+							Msg: fmt.Sprintf("%s overlaps %s", refOf(si), refOf(sj))})
+					}
+					continue
+				}
+				if space <= 0 {
+					continue
+				}
+				gx := max64(si.Rect.X0, sj.Rect.X0) - min64(si.Rect.X1, sj.Rect.X1)
+				gy := max64(si.Rect.Y0, sj.Rect.Y0) - min64(si.Rect.Y1, sj.Rect.Y1)
+				if gx < space && gy < space {
+					add(Violation{Rule: RuleSpacing, Layer: l.Name(t),
+						Rects: []geom.Rect{si.Rect, sj.Rect}, Nets: nets2(si, sj),
+						Msg: fmt.Sprintf("gap (%d,%d) below %d (%s vs %s)", gx, gy, space, refOf(si), refOf(sj))})
+				}
+			}
+		}
+	}
+
+	out = append(out, checkEnclosure(t, rules, shapes, cell)...)
+	return out
+}
+
+// checkEnclosure verifies every via cut is covered, with the minimum
+// enclosure margin, by same-net metal on both connected layers.
+func checkEnclosure(t *pdk.Tech, rules *Rules, shapes []Shape, cell string) []Violation {
+	type mk struct {
+		l   pdk.Layer
+		net string
+	}
+	metal := map[mk][]geom.Rect{}
+	for _, s := range shapes {
+		if s.Layer.IsMetal() {
+			metal[mk{pdk.Layer(s.Layer), s.Net}] = append(metal[mk{pdk.Layer(s.Layer), s.Net}], s.Rect)
+		}
+	}
+	covered := func(l pdk.Layer, net string, r geom.Rect) bool {
+		for _, m := range metal[mk{l, net}] {
+			if containsRect(m, r) {
+				return true
+			}
+		}
+		return false
+	}
+	var out []Violation
+	for _, s := range shapes {
+		if !s.Layer.IsVia() {
+			continue
+		}
+		lo := s.Layer.ViaLower()
+		need := s.Rect.Expand(rules.ViaEnc)
+		for _, l := range []pdk.Layer{lo, lo + 1} {
+			if !covered(l, s.Net, need) {
+				out = append(out, Violation{Rule: RuleEnclosure, Layer: s.Layer.Name(t), Cell: cell,
+					Rects: []geom.Rect{s.Rect}, Nets: nets1(s),
+					Msg: fmt.Sprintf("cut not enclosed by %dnm of %s metal (%s)", rules.ViaEnc, t.Metals[l].Name, s.Ref)})
+			}
+		}
+	}
+	return out
+}
+
+func offGrid(r geom.Rect, grid int64) bool {
+	if grid <= 1 {
+		return false
+	}
+	for _, v := range [4]int64{r.X0, r.Y0, r.X1, r.Y1} {
+		if ((v%grid)+grid)%grid != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// containsRect reports whether outer fully contains inner.
+func containsRect(outer, inner geom.Rect) bool {
+	return inner.X0 >= outer.X0 && inner.Y0 >= outer.Y0 &&
+		inner.X1 <= outer.X1 && inner.Y1 <= outer.Y1
+}
+
+func nets1(s Shape) []string {
+	if s.Net == "" {
+		return nil
+	}
+	return []string{s.Net}
+}
+
+func nets2(a, b Shape) []string {
+	out := nets1(a)
+	if b.Net != "" && b.Net != a.Net {
+		out = append(out, b.Net)
+	}
+	return out
+}
+
+func refOf(s Shape) string {
+	if s.Ref != "" {
+		return s.Ref
+	}
+	if s.Net != "" {
+		return s.Net
+	}
+	return "shape"
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,166 @@
+package verify
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"primopt/internal/geom"
+	"primopt/internal/pdk"
+)
+
+// The testdata fixtures are intentionally-broken (and one clean)
+// shape lists proving each rule class actually fires: every
+// broken_*.json must trigger exactly the violations it names and
+// none of the rules it forbids.
+
+type fixtureShape struct {
+	Layer string  `json:"layer"`
+	Rect  []int64 `json:"rect"`
+	Net   string  `json:"net"`
+	Kind  string  `json:"kind"`
+	Ref   string  `json:"ref"`
+}
+
+type fixture struct {
+	Description string  `json:"description"`
+	Region      []int64 `json:"region"`
+	DRC         *bool   `json:"drc"`
+	// Connectivity, when present, runs the extractor; a non-empty list
+	// restricts the open check to those nets (like the top level does).
+	Connectivity *[]string      `json:"connectivity"`
+	Shapes       []fixtureShape `json:"shapes"`
+	Want         map[Rule]int   `json:"want"`
+	Forbid       []Rule         `json:"forbid"`
+}
+
+func parseLayer(t *testing.T, name string) LayerID {
+	t.Helper()
+	switch {
+	case name == "diff":
+		return LayerDiff
+	case name == "poly":
+		return LayerPoly
+	case strings.HasPrefix(name, "M"):
+		n, err := strconv.Atoi(name[1:])
+		if err != nil || n < 1 {
+			t.Fatalf("bad metal layer %q", name)
+		}
+		return LayerID(n - 1)
+	case strings.HasPrefix(name, "v"):
+		n, err := strconv.Atoi(name[1:])
+		if err != nil || n < 0 {
+			t.Fatalf("bad via layer %q", name)
+		}
+		return ViaLayer(pdk.Layer(n))
+	}
+	t.Fatalf("unknown layer %q", name)
+	return 0
+}
+
+func parseKind(t *testing.T, name string) Kind {
+	t.Helper()
+	switch name {
+	case "", "wire":
+		return KindWire
+	case "pin":
+		return KindPin
+	case "obs":
+		return KindObs
+	}
+	t.Fatalf("unknown shape kind %q", name)
+	return 0
+}
+
+func loadFixture(t *testing.T, path string) (*fixture, []Shape, geom.Rect) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fx fixture
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&fx); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	var shapes []Shape
+	for i, s := range fx.Shapes {
+		if len(s.Rect) != 4 {
+			t.Fatalf("%s: shape %d has %d rect coords", path, i, len(s.Rect))
+		}
+		shapes = append(shapes, Shape{
+			Layer: parseLayer(t, s.Layer),
+			Rect:  geom.Rect{X0: s.Rect[0], Y0: s.Rect[1], X1: s.Rect[2], Y1: s.Rect[3]},
+			Net:   s.Net,
+			Kind:  parseKind(t, s.Kind),
+			Ref:   s.Ref,
+		})
+	}
+	region := geom.Rect{}
+	if len(fx.Region) == 4 {
+		region = geom.Rect{X0: fx.Region[0], Y0: fx.Region[1], X1: fx.Region[2], Y1: fx.Region[3]}
+	}
+	return &fx, shapes, region
+}
+
+func TestRuleFixtures(t *testing.T) {
+	tech := pdk.Default()
+	rules := DefaultRules(tech)
+	paths, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no fixtures found: %v", err)
+	}
+	for _, path := range paths {
+		name := strings.TrimSuffix(filepath.Base(path), ".json")
+		t.Run(name, func(t *testing.T) {
+			fx, shapes, region := loadFixture(t, path)
+			cell := "fixture/" + name
+			var vios []Violation
+			if fx.DRC == nil || *fx.DRC {
+				vios = append(vios, DRC(tech, rules, region, shapes, cell)...)
+			}
+			if fx.Connectivity != nil {
+				var only map[string]bool
+				if len(*fx.Connectivity) > 0 {
+					only = map[string]bool{}
+					for _, n := range *fx.Connectivity {
+						only[n] = true
+					}
+				}
+				vios = append(vios, checkConnectivity(tech, shapes, cell, only)...)
+			}
+			counts := map[Rule]int{}
+			for _, v := range vios {
+				counts[v.Rule]++
+			}
+			dump := func() string {
+				var b strings.Builder
+				for _, v := range vios {
+					fmt.Fprintf(&b, "\n  %v", v)
+				}
+				return b.String()
+			}
+			for rule, want := range fx.Want {
+				if counts[rule] != want {
+					t.Errorf("%s: %d violations, want %d%s", rule, counts[rule], want, dump())
+				}
+			}
+			for _, rule := range fx.Forbid {
+				if counts[rule] != 0 {
+					t.Errorf("%s: %d violations, want none%s", rule, counts[rule], dump())
+				}
+			}
+			// Every reported rule must be accounted for by the fixture.
+			for rule, n := range counts {
+				if _, ok := fx.Want[rule]; !ok && n > 0 {
+					t.Errorf("unexpected %s violations (%d)%s", rule, n, dump())
+				}
+			}
+		})
+	}
+}

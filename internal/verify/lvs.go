@@ -1,0 +1,161 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"primopt/internal/pdk"
+)
+
+// The LVS engine re-extracts connectivity purely from geometry: metal
+// shapes on one layer conduct where they overlap, and a via cut joins
+// whatever it overlaps on its two metal layers. Diffusion and poly
+// are deliberately excluded — the generators contact every S/D column
+// and gate finger with metal, so the metal+via graph alone must
+// realize each net, and treating the semiconductor layers as
+// conductors would mask missing straps.
+
+// dsu is a plain union-find over shape indices.
+type dsu struct {
+	parent []int
+}
+
+func newDSU(n int) *dsu {
+	d := &dsu{parent: make([]int, n)}
+	for i := range d.parent {
+		d.parent[i] = i
+	}
+	return d
+}
+
+func (d *dsu) find(i int) int {
+	for d.parent[i] != i {
+		d.parent[i] = d.parent[d.parent[i]]
+		i = d.parent[i]
+	}
+	return i
+}
+
+func (d *dsu) union(a, b int) {
+	ra, rb := d.find(a), d.find(b)
+	if ra != rb {
+		d.parent[ra] = rb
+	}
+}
+
+// conducting reports whether a shape participates in the conduction
+// graph.
+func conducting(s Shape) bool {
+	return s.Kind != KindObs && (s.Layer.IsMetal() || s.Layer.IsVia())
+}
+
+// connectable reports whether overlap between layers a and b conducts.
+func connectable(a, b LayerID) bool {
+	if a == b {
+		return true
+	}
+	if a.IsVia() && b.IsMetal() {
+		lo := a.ViaLower()
+		return pdk.Layer(b) == lo || pdk.Layer(b) == lo+1
+	}
+	if b.IsVia() && a.IsMetal() {
+		lo := b.ViaLower()
+		return pdk.Layer(a) == lo || pdk.Layer(a) == lo+1
+	}
+	return false
+}
+
+// connComponents returns the connected-component id per shape (-1 for
+// shapes outside the conduction graph), via one x-sorted sweep.
+func connComponents(shapes []Shape) []int {
+	idx := make([]int, 0, len(shapes))
+	for i, s := range shapes {
+		if conducting(s) {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool { return shapes[idx[a]].Rect.X0 < shapes[idx[b]].Rect.X0 })
+	d := newDSU(len(shapes))
+	var active []int
+	for _, i := range idx {
+		si := shapes[i]
+		keep := active[:0]
+		for _, j := range active {
+			if shapes[j].Rect.X1 > si.Rect.X0 {
+				keep = append(keep, j)
+			}
+		}
+		active = append(keep, i)
+		for _, j := range active[:len(keep)] {
+			sj := shapes[j]
+			if connectable(si.Layer, sj.Layer) && si.Rect.Intersects(sj.Rect) {
+				d.union(i, j)
+			}
+		}
+	}
+	out := make([]int, len(shapes))
+	for i, s := range shapes {
+		if conducting(s) {
+			out[i] = d.find(i)
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// checkConnectivity extracts the conduction graph and reports opens
+// (a net label split over several components) and shorts (a component
+// carrying several net labels). When only is non-nil, open checks are
+// restricted to those nets (top level: power nets are routed
+// elsewhere and legitimately stay split).
+func checkConnectivity(t *pdk.Tech, shapes []Shape, cell string, only map[string]bool) []Violation {
+	comps := connComponents(shapes)
+	netComps := map[string]map[int]bool{}
+	compNets := map[int]map[string]bool{}
+	for i, s := range shapes {
+		if comps[i] < 0 || s.Net == "" {
+			continue
+		}
+		if netComps[s.Net] == nil {
+			netComps[s.Net] = map[int]bool{}
+		}
+		netComps[s.Net][comps[i]] = true
+		if compNets[comps[i]] == nil {
+			compNets[comps[i]] = map[string]bool{}
+		}
+		compNets[comps[i]][s.Net] = true
+	}
+
+	var out []Violation
+	nets := make([]string, 0, len(netComps))
+	for n := range netComps {
+		nets = append(nets, n)
+	}
+	sort.Strings(nets)
+	for _, n := range nets {
+		if only != nil && !only[n] {
+			continue
+		}
+		if len(netComps[n]) > 1 {
+			out = append(out, Violation{Rule: RuleOpen, Cell: cell, Nets: []string{n},
+				Msg: fmt.Sprintf("net split into %d disconnected pieces", len(netComps[n]))})
+		}
+	}
+	seen := map[int]bool{}
+	for i := range shapes {
+		c := comps[i]
+		if c < 0 || seen[c] || len(compNets[c]) < 2 {
+			continue
+		}
+		seen[c] = true
+		var labels []string
+		for n := range compNets[c] {
+			labels = append(labels, n)
+		}
+		sort.Strings(labels)
+		out = append(out, Violation{Rule: RuleShort, Cell: cell, Nets: labels,
+			Msg: "nets joined by geometry"})
+	}
+	return out
+}

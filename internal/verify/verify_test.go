@@ -1,0 +1,155 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"primopt/internal/cellgen"
+	"primopt/internal/geom"
+	"primopt/internal/pdk"
+)
+
+// TestCheckCellCleanAcrossEnumeration materializes every layout
+// variant of a representative single and pair primitive and requires
+// the full DRC/LVS pass to come back clean: the materializer and the
+// checkers are written against the same generator conventions, so any
+// violation here is a bug in one of the two.
+func TestCheckCellCleanAcrossEnumeration(t *testing.T) {
+	tech := pdk.Default()
+	specs := []cellgen.Spec{
+		{Name: "mn_single", Structure: cellgen.Single, TotalFins: 16, L: tech.GateL},
+		{Name: "mp_pair", Structure: cellgen.Pair, TotalFins: 8, RatioB: 1, L: tech.GateL},
+		{Name: "mn_mirror", Structure: cellgen.Pair, TotalFins: 4, RatioB: 2, L: tech.GateL},
+	}
+	for _, spec := range specs {
+		lays, err := cellgen.GenerateAll(tech, spec, nil)
+		if err != nil {
+			t.Fatalf("%s: GenerateAll: %v", spec.Name, err)
+		}
+		if len(lays) == 0 {
+			t.Fatalf("%s: no layouts", spec.Name)
+		}
+		for _, lay := range lays {
+			rep := CheckCell(tech, spec.Name+"/"+lay.Config.ID(), lay, Options{})
+			if n := len(rep.Violations); n != 0 {
+				max := 6
+				if len(rep.Violations) < max {
+					max = len(rep.Violations)
+				}
+				var lines []string
+				for _, v := range rep.Violations[:max] {
+					lines = append(lines, v.String())
+				}
+				t.Errorf("%s %s: %d violations:\n%s", spec.Name, lay.Config.ID(), n,
+					strings.Join(lines, "\n"))
+			}
+			if rep.Shapes == 0 {
+				t.Errorf("%s %s: no shapes materialized", spec.Name, lay.Config.ID())
+			}
+		}
+	}
+}
+
+// TestMaterializeCellPorts checks every terminal gets a pin column
+// inside the cell bounding box.
+func TestMaterializeCellPorts(t *testing.T) {
+	tech := pdk.Default()
+	spec := cellgen.Spec{Name: "pair", Structure: cellgen.Pair, TotalFins: 8, RatioB: 1, L: tech.GateL}
+	lays, err := cellgen.GenerateAll(tech, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay := lays[0]
+	g, err := MaterializeCell(tech, lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, term := range []string{"s", "d_a", "d_b", "g_a", "g_b"} {
+		col, ok := g.Ports[term]
+		if !ok {
+			t.Fatalf("terminal %s has no port column", term)
+		}
+		if col.X0 < lay.BBox.X0 || col.X1 > lay.BBox.X1 {
+			t.Errorf("terminal %s column %v outside bbox %v", term, col, lay.BBox)
+		}
+	}
+}
+
+// TestDRCFiresOnBrokenGeometry feeds hand-broken shape lists to the
+// engine and requires each rule class to fire.
+func TestDRCFiresOnBrokenGeometry(t *testing.T) {
+	tech := pdk.Default()
+	rules := DefaultRules(tech)
+	boundary := geom.Rect{X0: 0, Y0: 0, X1: 1000, Y1: 1000}
+	cases := []struct {
+		name   string
+		rule   Rule
+		shapes []Shape
+	}{
+		{"narrow_wire", RuleWidth, []Shape{
+			{Layer: 0, Rect: geom.Rect{X0: 0, Y0: 0, X1: 10, Y1: 100}}}},
+		{"tight_pair", RuleSpacing, []Shape{
+			{Layer: 0, Net: "a", Rect: geom.Rect{X0: 0, Y0: 0, X1: 20, Y1: 100}},
+			{Layer: 0, Net: "b", Rect: geom.Rect{X0: 30, Y0: 0, X1: 50, Y1: 100}}}},
+		{"off_grid", RuleGrid, []Shape{
+			{Layer: 0, Rect: geom.Rect{X0: 1, Y0: 0, X1: 21, Y1: 100}}}},
+		{"bare_via", RuleEnclosure, []Shape{
+			{Layer: ViaLayer(0), Net: "a", Rect: geom.Rect{X0: 0, Y0: 0, X1: 16, Y1: 16}}}},
+		{"overlap_short", RuleShort, []Shape{
+			{Layer: 1, Net: "a", Rect: geom.Rect{X0: 0, Y0: 0, X1: 100, Y1: 20}},
+			{Layer: 1, Net: "b", Rect: geom.Rect{X0: 50, Y0: 10, X1: 150, Y1: 30}}}},
+		{"escapee", RuleBoundary, []Shape{
+			{Layer: 0, Rect: geom.Rect{X0: 900, Y0: 0, X1: 1020, Y1: 20}}}},
+	}
+	for _, tc := range cases {
+		vs := DRC(tech, rules, boundary, tc.shapes, tc.name)
+		found := false
+		for _, v := range vs {
+			if v.Rule == tc.rule {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: rule %s did not fire (got %v)", tc.name, tc.rule, vs)
+		}
+	}
+}
+
+// TestConnectivityOpenAndShort checks the extraction engine on tiny
+// hand-built graphs.
+func TestConnectivityOpenAndShort(t *testing.T) {
+	tech := pdk.Default()
+	// Two disjoint pieces labeled the same net: an open.
+	open := []Shape{
+		{Layer: 0, Net: "x", Rect: geom.Rect{X0: 0, Y0: 0, X1: 100, Y1: 20}},
+		{Layer: 0, Net: "x", Rect: geom.Rect{X0: 200, Y0: 0, X1: 300, Y1: 20}},
+	}
+	vs := checkConnectivity(tech, open, "t", nil)
+	if len(vs) != 1 || vs[0].Rule != RuleOpen {
+		t.Errorf("open graph: got %v", vs)
+	}
+	// A via bridging two different labels: a short.
+	short := []Shape{
+		{Layer: 0, Net: "x", Rect: geom.Rect{X0: 0, Y0: 0, X1: 100, Y1: 20}},
+		{Layer: 1, Net: "y", Rect: geom.Rect{X0: 0, Y0: 0, X1: 20, Y1: 100}},
+		{Layer: ViaLayer(0), Net: "x", Rect: geom.Rect{X0: 2, Y0: 2, X1: 18, Y1: 18}},
+	}
+	vs = checkConnectivity(tech, short, "t", nil)
+	foundShort := false
+	for _, v := range vs {
+		if v.Rule == RuleShort {
+			foundShort = true
+		}
+	}
+	if !foundShort {
+		t.Errorf("short graph: got %v", vs)
+	}
+	// A metal-only stack that conducts: clean.
+	clean := []Shape{
+		{Layer: 0, Net: "x", Rect: geom.Rect{X0: 0, Y0: 0, X1: 100, Y1: 20}},
+		{Layer: 0, Net: "x", Rect: geom.Rect{X0: 90, Y0: 0, X1: 200, Y1: 20}},
+	}
+	if vs := checkConnectivity(tech, clean, "t", nil); len(vs) != 0 {
+		t.Errorf("clean graph: got %v", vs)
+	}
+}

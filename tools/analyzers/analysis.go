@@ -1,0 +1,99 @@
+// Package analyzers holds the project's custom static analyzers and
+// the minimal framework they run on.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer / Pass / Diagnostic) but is built purely on the standard
+// library's go/ast, go/parser, and go/types: this repository takes no
+// external dependencies, so the analyzers run through the standalone
+// driver in cmd/analyze instead of `go vet -vettool`. The driver
+// type-checks packages with the source importer, which works on any
+// Go ≥ 1.21 toolchain where no pre-built stdlib export data exists.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one package's syntax and type information through an
+// analyzer run.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	Diagnostics []Diagnostic
+	current     *Analyzer // set by Analyze around each Run
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) Format(fset *token.FileSet) string {
+	return fmt.Sprintf("%s: %s: %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos, attributed to the running
+// analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	name := ""
+	if p.current != nil {
+		name = p.current.Name
+	}
+	p.Diagnostics = append(p.Diagnostics, Diagnostic{
+		Pos: pos, Analyzer: name, Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns every analyzer this package defines.
+func All() []*Analyzer {
+	return []*Analyzer{UnitMix, SharedMut}
+}
+
+// objPkgPath returns the import path of the package an object belongs
+// to ("" for universe-scope and builtin objects).
+func objPkgPath(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// namedType unwraps pointers and aliases down to a named type, if any.
+func namedType(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// typeIs reports whether t (possibly behind pointers) is the named
+// type pkgPath.name.
+func typeIs(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && objPkgPath(obj) == pkgPath
+}

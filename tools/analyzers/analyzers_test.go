@@ -1,0 +1,73 @@
+package analyzers
+
+import (
+	"strings"
+	"testing"
+)
+
+// loadFixture type-checks one testdata package through the real
+// loader (so primopt imports resolve against the live tree) and runs
+// one analyzer over it.
+func loadFixture(t *testing.T, pkg string, a *Analyzer) []Diagnostic {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadPackages([]string{"primopt/tools/analyzers/testdata/src/" + pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	return Analyze(pkgs[0], l.Fset, []*Analyzer{a})
+}
+
+// wantCount counts the "// want:" markers in the fixture — each marks
+// exactly one line the analyzer must flag.
+func checkDiagnostics(t *testing.T, pkg string, a *Analyzer, want int) {
+	t.Helper()
+	diags := loadFixture(t, pkg, a)
+	if len(diags) != want {
+		l, _ := NewLoader(".")
+		var msgs []string
+		for _, d := range diags {
+			msgs = append(msgs, d.Format(l.Fset))
+		}
+		t.Errorf("%s on %s: %d diagnostics, want %d:\n%s",
+			a.Name, pkg, len(diags), want, strings.Join(msgs, "\n"))
+	}
+}
+
+func TestUnitMixFixture(t *testing.T) {
+	checkDiagnostics(t, "unitmixbad", UnitMix, 3)
+}
+
+func TestSharedMutFixture(t *testing.T) {
+	checkDiagnostics(t, "sharedmutbad", SharedMut, 3)
+}
+
+// TestInternalTreeIsClean runs both analyzers over the real internal/
+// and cmd/ trees — the lint-clean gate CI enforces.
+func TestInternalTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tree analysis in -short mode")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadPackages([]string{"./internal/...", "./cmd/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("only %d packages loaded — pattern resolution broken", len(pkgs))
+	}
+	for _, p := range pkgs {
+		for _, d := range Analyze(p, l.Fset, All()) {
+			t.Errorf("%s", d.Format(l.Fset))
+		}
+	}
+}

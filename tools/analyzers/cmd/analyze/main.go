@@ -1,0 +1,45 @@
+// Command analyze runs the project's custom static analyzers
+// (unitmix, sharedmut) over module packages. It is the stand-in for
+// `go vet -vettool`: the analyzers are built purely on the standard
+// library, so no analysis driver dependency is required.
+//
+// Usage:
+//
+//	go run ./tools/analyzers/cmd/analyze ./internal/... ./cmd/...
+//
+// Exit status 1 when any diagnostic is reported.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"primopt/tools/analyzers"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./internal/...", "./cmd/..."}
+	}
+	l, err := analyzers.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(2)
+	}
+	pkgs, err := l.LoadPackages(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(2)
+	}
+	bad := false
+	for _, p := range pkgs {
+		for _, d := range analyzers.Analyze(p, l.Fset, analyzers.All()) {
+			fmt.Println(d.Format(l.Fset))
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,261 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages of this module without any
+// external tooling: module-internal imports ("primopt/...") resolve
+// against the module root on disk, everything else falls through to
+// the toolchain's source importer (Go ≥ 1.21 ships no pre-compiled
+// stdlib export data, so "source" is the only stdlib importer that
+// works without invoking the go command).
+type Loader struct {
+	Fset *token.FileSet
+
+	root   string // module root directory
+	module string // module path, e.g. "primopt"
+	std    types.Importer
+	cache  map[string]*loaded
+}
+
+type loaded struct {
+	pkg *Package
+	err error
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// NewLoader finds the module root at or above dir.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analyzers: no go.mod at or above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	module := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			module = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if module == "" {
+		return nil, fmt.Errorf("analyzers: no module line in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:   fset,
+		root:   root,
+		module: module,
+		std:    importer.ForCompiler(fset, "source", nil),
+		cache:  map[string]*loaded{},
+	}, nil
+}
+
+// Import implements types.Importer over module-internal and stdlib
+// paths.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		p, err := l.load(path, nil)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// dirFor maps a module-internal import path to its directory.
+func (l *Loader) dirFor(path string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.module), "/")
+	return filepath.Join(l.root, filepath.FromSlash(rel))
+}
+
+// load parses and type-checks one module-internal package. The full
+// syntax and type info are cached: a package loaded first as a
+// dependency and later analyzed as a target must keep the same
+// *types.Package identity, or importers checked against the first
+// instance reject values of the second.
+func (l *Loader) load(path string, info *types.Info) (*Package, error) {
+	if c, ok := l.cache[path]; ok {
+		if c.err != nil {
+			return nil, c.err
+		}
+		return c.pkg, nil
+	}
+	dir := l.dirFor(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		l.cache[path] = &loaded{err: err}
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			l.cache[path] = &loaded{err: err}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		err := fmt.Errorf("analyzers: no Go files in %s", dir)
+		l.cache[path] = &loaded{err: err}
+		return nil, err
+	}
+	if info == nil {
+		info = newInfo()
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		l.cache[path] = &loaded{err: err}
+		return nil, err
+	}
+	p := &Package{Path: path, Files: files, Pkg: pkg, Info: info}
+	l.cache[path] = &loaded{pkg: p}
+	return p, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// LoadPackages resolves the given patterns (import paths or directory
+// paths relative to the module root; a trailing "/..." recurses) into
+// loaded packages.
+func (l *Loader) LoadPackages(patterns []string) ([]*Package, error) {
+	var paths []string
+	seen := map[string]bool{}
+	addDir := func(dir string) {
+		rel, err := filepath.Rel(l.root, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return
+		}
+		if !hasGoFiles(dir) {
+			return
+		}
+		p := l.module
+		if rel != "." {
+			p = l.module + "/" + filepath.ToSlash(rel)
+		}
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+		}
+		dir := pat
+		if strings.HasPrefix(pat, l.module) {
+			dir = l.dirFor(pat)
+		} else if !filepath.IsAbs(pat) {
+			dir = filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		}
+		if !recursive {
+			addDir(dir)
+			continue
+		}
+		err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if strings.HasPrefix(d.Name(), ".") && p != dir {
+					return filepath.SkipDir
+				}
+				addDir(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(paths)
+	var out []*Package
+	for _, p := range paths {
+		pkg, err := l.load(p, nil)
+		if err != nil {
+			return nil, fmt.Errorf("analyzers: %s: %w", p, err)
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyze runs the given analyzers over one package and returns the
+// diagnostics.
+func Analyze(p *Package, fset *token.FileSet, as []*Analyzer) []Diagnostic {
+	pass := &Pass{Fset: fset, Files: p.Files, Pkg: p.Pkg, Info: p.Info}
+	for _, a := range as {
+		pass.current = a
+		a.Run(pass)
+	}
+	pass.current = nil
+	return pass.Diagnostics
+}

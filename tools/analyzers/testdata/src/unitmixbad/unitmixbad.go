@@ -1,0 +1,41 @@
+// Package unitmixbad is analyzer test fodder: it mixes nanometer
+// geometry with SI-scale values in ways unitmix must flag, next to
+// correct scale conversions it must accept.
+package unitmixbad
+
+import (
+	"primopt/internal/geom"
+	"primopt/internal/pdk"
+	"primopt/internal/units"
+)
+
+func bad(t *pdk.Tech, r geom.Rect) float64 {
+	// want: nm + SI without conversion
+	return float64(r.W()) + 3e-15
+}
+
+func badParse(r geom.Rect) float64 {
+	v, _ := units.Parse("10f")
+	// want: units.Parse result added to raw nm
+	return v + float64(r.H())
+}
+
+func badField(t *pdk.Tech) float64 {
+	// want: pdk field in nm added to an SI constant
+	return 1e-9 - float64(t.FinPitch)
+}
+
+func good(t *pdk.Tech, r geom.Rect) float64 {
+	// Converted before adding: carries both markers, accepted.
+	return float64(r.W())*1e-9 + 3e-15
+}
+
+func goodPureNano(r geom.Rect) float64 {
+	// Both sides nanometers: accepted.
+	return float64(r.W()) + float64(r.H())
+}
+
+func goodPureSI() float64 {
+	a, _ := units.Parse("1p")
+	return a + 2e-15
+}

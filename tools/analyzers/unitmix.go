@@ -1,0 +1,197 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// UnitMix flags additive arithmetic that mixes the codebase's two
+// numeric unit regimes: integer nanometers (all geom/pdk dimensions)
+// and SI floats (everything electrical — farads, ohms, volts, and the
+// values produced by units.Parse). A nanometer quantity converted
+// with float64(...) and then added to an SI-scale value is off by
+// nine orders of magnitude; the correct pattern multiplies by a scale
+// literal first (float64(w) * 1e-9), which this analyzer recognizes
+// and accepts.
+var UnitMix = &Analyzer{
+	Name: "unitmix",
+	Doc: "flag + and - expressions mixing raw nanometer-scale geometry " +
+		"values with SI-scale electrical values",
+	Run: runUnitMix,
+}
+
+// geomPkgs are the packages whose exported values carry nanometers.
+var geomPkgs = map[string]bool{
+	"primopt/internal/geom": true,
+	"primopt/internal/pdk":  true,
+}
+
+func runUnitMix(p *Pass) {
+	for _, f := range p.Files {
+		siVars := collectSIVars(p, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.ADD && be.Op != token.SUB) {
+				return true
+			}
+			// Only float arithmetic can mix the regimes: pure int
+			// expressions stay in nanometers.
+			if t, ok := p.Info.Types[be.X]; !ok || !isFloat(t.Type) {
+				return true
+			}
+			lNano, lSI := classify(p, siVars, be.X)
+			rNano, rSI := classify(p, siVars, be.Y)
+			if lNano && !lSI && rSI && !rNano {
+				p.Reportf(be.OpPos,
+					"nanometer-scale geometry value added to SI-scale value; multiply by a scale factor (e.g. 1e-9) first")
+			}
+			if rNano && !rSI && lSI && !lNano {
+				p.Reportf(be.OpPos,
+					"SI-scale value added to nanometer-scale geometry value; multiply by a scale factor (e.g. 1e-9) first")
+			}
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// collectSIVars finds local variables assigned from units.Parse, so a
+// later use of the variable carries the SI marker (one level of
+// dataflow — enough for the idiomatic v, err := units.Parse(...)).
+func collectSIVars(p *Pass, f *ast.File) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		if !isUnitsParse(p, as.Rhs[0]) {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if obj := p.Info.Defs[id]; obj != nil {
+				out[obj] = true
+			} else if obj := p.Info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isUnitsParse(p *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := p.Info.Uses[sel.Sel]
+	return obj != nil && objPkgPath(obj) == "primopt/internal/units" && obj.Name() == "Parse"
+}
+
+// classify walks an expression and reports whether it carries a
+// nanometer marker (a float64 conversion of an integer geom/pdk
+// quantity) and whether it carries an SI marker (a sub-unity
+// scientific-notation literal, a units.Parse call, or a variable fed
+// by one). An expression carrying both markers has already been
+// scale-converted and is not suspicious.
+func classify(p *Pass, siVars map[types.Object]bool, e ast.Expr) (nano, si bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isFloatConv(p, x) && exprMentionsGeom(p, x.Args[0]) {
+				nano = true
+			}
+			if isUnitsParse(p, x) {
+				si = true
+			}
+		case *ast.Ident:
+			if obj := p.Info.Uses[x]; obj != nil && siVars[obj] {
+				si = true
+			}
+		case *ast.BasicLit:
+			if x.Kind == token.FLOAT && isSubUnityExp(x.Value) {
+				si = true
+			}
+		}
+		return true
+	})
+	return nano, si
+}
+
+// isFloatConv reports whether call is a conversion to a float type of
+// an integer-typed argument.
+func isFloatConv(p *Pass, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || !isFloat(tv.Type) {
+		return false
+	}
+	at, ok := p.Info.Types[call.Args[0]]
+	if !ok {
+		return false
+	}
+	b, ok := at.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// exprMentionsGeom reports whether the expression references any
+// object (field, method, function, constant) from the nanometer
+// packages.
+func exprMentionsGeom(p *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if geomPkgs[objPkgPath(obj)] {
+			found = true
+			return false
+		}
+		// A variable whose type comes from a nanometer package (e.g. a
+		// local pdk.Tech or geom.Rect) counts too.
+		if v, ok := obj.(*types.Var); ok {
+			if n := namedType(v.Type()); n != nil && geomPkgs[objPkgPath(n.Obj())] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSubUnityExp reports whether a float literal is written in
+// scientific notation with a value well below one — the signature of
+// an SI-scaled electrical constant (1e-9, 2.5e-15, ...).
+func isSubUnityExp(lit string) bool {
+	if !strings.ContainsAny(lit, "eE") {
+		return false
+	}
+	v, err := strconv.ParseFloat(lit, 64)
+	if err != nil {
+		return false
+	}
+	if v < 0 {
+		v = -v
+	}
+	return v != 0 && v < 1e-2
+}
