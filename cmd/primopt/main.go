@@ -38,6 +38,9 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "verify" {
 		os.Exit(runVerifyCmd(os.Args[2:]))
 	}
+	if len(os.Args) > 1 && os.Args[1] == "checktrace" {
+		os.Exit(runCheckTrace(os.Args[2:]))
+	}
 	circuitName := flag.String("circuit", "", "benchmark circuit: csamp, ota5t, strongarm, rovco, telescopic")
 	mode := flag.String("mode", "all", "schematic, conventional, optimized, manual, or all")
 	table := flag.String("table", "", "paper artifact: fig2, 1..8, ablations, all")
@@ -46,31 +49,41 @@ func main() {
 	svgPath := flag.String("svg", "", "write the optimized floorplan + routes as SVG to this file")
 	consPath := flag.String("constraints", "", "write the detailed-router constraints of the optimized run to this file")
 	mcRun := flag.Bool("mc", false, "run the Monte Carlo offset comparison across DP patterns")
+	var of obsFlags
+	registerObsFlags(flag.CommandLine, &of)
 	flag.Parse()
 	svgOut = *svgPath
 	consOut = *consPath
+
+	finishObs, err := setupObs(of)
+	if err != nil {
+		fatal(err)
+	}
 
 	tech := pdk.Default()
 	if err := tech.Validate(); err != nil {
 		fatal(err)
 	}
 
+	var runErr error
 	switch {
 	case *mcRun:
-		if err := runMC(tech); err != nil {
-			fatal(err)
-		}
+		runErr = runMC(tech)
 	case *table != "":
-		if err := runTables(tech, *table, *stages); err != nil {
-			fatal(err)
-		}
+		runErr = runTables(tech, *table, *stages)
 	case *circuitName != "":
-		if err := runCircuit(tech, *circuitName, *mode, *stages, *seed); err != nil {
-			fatal(err)
-		}
+		runErr = runCircuit(tech, *circuitName, *mode, *stages, *seed)
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	// Flush traces and profiles even when the run failed, so partial
+	// traces are available for debugging the failure.
+	if err := finishObs(); err != nil {
+		fmt.Fprintln(os.Stderr, "primopt: observability flush:", err)
+	}
+	if runErr != nil {
+		fatal(runErr)
 	}
 }
 

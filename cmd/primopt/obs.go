@@ -1,0 +1,293 @@
+// Observability surface of the primopt CLI: the -trace/-metrics/-v
+// flags install a process-wide obs.Trace that every flow stage and
+// solver reports into, the profiling flags hook the standard pprof
+// machinery, and the checktrace subcommand validates an exported
+// trace (used by CI to keep the span taxonomy honest).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"time"
+
+	"primopt/internal/obs"
+)
+
+// obsFlags carries the observability flag values from main.
+type obsFlags struct {
+	trace      string // JSONL trace output path
+	metrics    bool   // print the end-of-run metrics table
+	verbose    bool   // live stage lines on stderr as spans end
+	pprofAddr  string // serve net/http/pprof on this address
+	cpuprofile string // write a CPU profile here
+	memprofile string // write a heap profile here
+	benchOut   string // write BENCH_flow.json-style stage timings here
+}
+
+// registerObsFlags adds the shared observability flags to a flag set.
+func registerObsFlags(fs *flag.FlagSet, f *obsFlags) {
+	fs.StringVar(&f.trace, "trace", "", "write the run's span/metric trace as JSONL to this file")
+	fs.BoolVar(&f.metrics, "metrics", false, "print the end-of-run metrics table to stderr")
+	fs.BoolVar(&f.verbose, "v", false, "print live stage timings to stderr as spans finish")
+	fs.StringVar(&f.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	fs.StringVar(&f.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.memprofile, "memprofile", "", "write a heap profile to this file")
+	fs.StringVar(&f.benchOut, "bench-out", "", "write per-stage wall-clock timings as JSON to this file")
+}
+
+// setupObs installs the process-wide trace and profiling hooks. The
+// returned function flushes trace, metrics, bench timings, and
+// profiles; call it once after the run (including on the error path,
+// so partial traces still land on disk).
+func setupObs(f obsFlags) (func() error, error) {
+	enabled := f.trace != "" || f.metrics || f.verbose || f.benchOut != ""
+	if enabled {
+		tr := obs.New()
+		if f.verbose {
+			tr.OnSpanEnd(liveStageLine)
+		}
+		obs.SetDefault(tr)
+	}
+	if f.cpuprofile != "" {
+		cf, err := os.Create(f.cpuprofile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			cf.Close()
+			return nil, err
+		}
+	}
+	if f.pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(f.pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "primopt: pprof server:", err)
+			}
+		}()
+	}
+
+	finish := func() error {
+		if f.cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
+		if f.memprofile != "" {
+			mf, err := os.Create(f.memprofile)
+			if err != nil {
+				return err
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				mf.Close()
+				return err
+			}
+			if err := mf.Close(); err != nil {
+				return err
+			}
+		}
+		tr := obs.Default()
+		if !tr.Enabled() {
+			return nil
+		}
+		if f.trace != "" {
+			tf, err := os.Create(f.trace)
+			if err != nil {
+				return err
+			}
+			if err := tr.WriteJSONL(tf); err != nil {
+				tf.Close()
+				return err
+			}
+			if err := tf.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote trace to %s\n", f.trace)
+		}
+		if f.benchOut != "" {
+			if err := writeBench(tr, f.benchOut); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote bench timings to %s\n", f.benchOut)
+		}
+		if f.metrics {
+			fmt.Fprint(os.Stderr, tr.MetricsTable())
+		}
+		return nil
+	}
+	return finish, nil
+}
+
+// liveStageLine prints one line per finished flow-level span — the
+// coarse stages only, so -v stays readable on deep runs.
+func liveStageLine(s *obs.Span) {
+	name := s.Name()
+	if !strings.HasPrefix(name, "flow.") {
+		return
+	}
+	extra := ""
+	if v := s.Attr("circuit"); v != nil {
+		extra = fmt.Sprintf(" circuit=%v mode=%v", v, s.Attr("mode"))
+	}
+	fmt.Fprintf(os.Stderr, "[obs] %-18s %10s%s\n", name, s.Dur().Round(time.Microsecond), extra)
+}
+
+// benchRun is the per-flow.run entry of the bench JSON.
+type benchRun struct {
+	Circuit string             `json:"circuit"`
+	Mode    string             `json:"mode"`
+	TotalMS float64            `json:"total_ms"`
+	Sims    float64            `json:"sims,omitempty"`
+	Stages  map[string]float64 `json:"stages_ms"`
+}
+
+// writeBench distills the trace's flow.run spans into a small JSON
+// benchmark artifact: wall-clock per stage, per run.
+func writeBench(tr *obs.Trace, path string) error {
+	var buf strings.Builder
+	if err := tr.WriteJSONL(&buf); err != nil {
+		return err
+	}
+	d, err := obs.ReadJSONL(strings.NewReader(buf.String()))
+	if err != nil {
+		return err
+	}
+	var runs []benchRun
+	for _, root := range d.SpansNamed("flow.run") {
+		br := benchRun{
+			Circuit: attrString(root.Attrs, "circuit"),
+			Mode:    attrString(root.Attrs, "mode"),
+			TotalMS: float64(root.DurUS) / 1e3,
+			Stages:  map[string]float64{},
+		}
+		if v, ok := root.Attrs["sims"].(float64); ok {
+			br.Sims = v
+		}
+		for _, c := range d.Children(root.ID) {
+			br.Stages[c.Name] += float64(c.DurUS) / 1e3
+		}
+		runs = append(runs, br)
+	}
+	sort.Slice(runs, func(i, j int) bool {
+		if runs[i].Circuit != runs[j].Circuit {
+			return runs[i].Circuit < runs[j].Circuit
+		}
+		return runs[i].Mode < runs[j].Mode
+	})
+	out, err := json.MarshalIndent(map[string]any{"runs": runs}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+func attrString(attrs map[string]any, key string) string {
+	if v, ok := attrs[key].(string); ok {
+		return v
+	}
+	return ""
+}
+
+// Stage spans every layout-mode flow.run must contain; checktrace
+// additionally requires the optimizing-mode spans and solver metrics
+// when the trace holds an optimized or manual run.
+var (
+	requiredStageSpans = []string{
+		"flow.run", "flow.schematic_op", "flow.primitives",
+		"flow.place", "flow.route", "flow.assemble", "flow.eval",
+	}
+	requiredOptimizedSpans = []string{
+		"flow.prim", "flow.portopt", "optimize.select", "optimize.tune",
+		"place.anneal", "route.net", "portopt.constraints", "portopt.reconcile",
+	}
+	requiredMetricPrefixes = []string{
+		"spice.", "place.anneal.", "route.", "optimize.",
+	}
+)
+
+// runCheckTrace implements `primopt checktrace <file>`: parse the
+// JSONL trace and assert the span taxonomy and metric families the
+// instrumented flow is supposed to emit. Exit status 0 means the
+// trace is structurally sound.
+func runCheckTrace(args []string) int {
+	fs := flag.NewFlagSet("checktrace", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: primopt checktrace <trace.jsonl>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	path := fs.Arg(0)
+	tf, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "primopt:", err)
+		return 1
+	}
+	defer tf.Close()
+	d, err := obs.ReadJSONL(tf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "primopt: checktrace:", err)
+		return 1
+	}
+
+	var problems []string
+	for _, name := range requiredStageSpans {
+		if d.Span(name) == nil {
+			problems = append(problems, fmt.Sprintf("missing required span %q", name))
+		}
+	}
+	optimizing := false
+	for _, root := range d.SpansNamed("flow.run") {
+		m := attrString(root.Attrs, "mode")
+		if m == "optimized" || m == "manual" {
+			optimizing = true
+		}
+	}
+	if optimizing {
+		for _, name := range requiredOptimizedSpans {
+			if d.Span(name) == nil {
+				problems = append(problems, fmt.Sprintf("missing optimizing-mode span %q", name))
+			}
+		}
+		for _, prefix := range requiredMetricPrefixes {
+			found := false
+			for _, m := range d.Metrics {
+				if strings.HasPrefix(m.Name, prefix) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				problems = append(problems, fmt.Sprintf("no metric with prefix %q", prefix))
+			}
+		}
+	}
+	// Structural sanity: every non-root span's parent must exist.
+	ids := map[int64]bool{}
+	for _, s := range d.Spans {
+		ids[s.ID] = true
+	}
+	for _, s := range d.Spans {
+		if s.Parent != 0 && !ids[s.Parent] {
+			problems = append(problems, fmt.Sprintf("span %q (id %d) has unknown parent %d", s.Name, s.ID, s.Parent))
+		}
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "primopt: checktrace:", p)
+		}
+		return 1
+	}
+	fmt.Printf("checktrace: %s ok (%d spans, %d metrics)\n", path, len(d.Spans), len(d.Metrics))
+	return 0
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"primopt/internal/cellgen"
+	"primopt/internal/obs"
 	"primopt/internal/pdk"
 )
 
@@ -59,6 +60,7 @@ func Primitive(t *pdk.Tech, lay *cellgen.Layout) (*Extracted, error) {
 	if lay == nil {
 		return nil, fmt.Errorf("extract: nil layout")
 	}
+	obs.Default().Counter("extract.runs").Inc()
 	ex := &Extracted{Layout: lay, Term: make(map[string]TermRC, len(lay.Wires))}
 	for term, w := range lay.Wires {
 		if w.Length < 0 || w.StrapLen < 0 {

@@ -30,6 +30,7 @@ import (
 	"primopt/internal/cost"
 	"primopt/internal/extract"
 	"primopt/internal/geom"
+	"primopt/internal/obs"
 	"primopt/internal/optimize"
 	"primopt/internal/pdk"
 	"primopt/internal/place"
@@ -86,6 +87,20 @@ type Params struct {
 	Place    place.Params
 	Route    route.Params
 	Verify   VerifyParams
+	// Trace, when set, receives the flow's spans and metrics (tests
+	// inject one here); when nil the flow falls back to the
+	// process-wide obs.Default(), which cmd/primopt installs.
+	// Tracing is strictly passive — traced and untraced runs produce
+	// byte-identical layouts.
+	Trace *obs.Trace
+}
+
+// trace resolves the observability sink for this run.
+func (p Params) trace() *obs.Trace {
+	if p.Trace != nil {
+		return p.Trace
+	}
+	return obs.Default()
 }
 
 // Result is one flow run.
@@ -121,10 +136,20 @@ type chosen struct {
 func Run(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params) (*Result, error) {
 	start := time.Now()
 	res := &Result{Mode: mode, Benchmark: bm.Name}
-	defer func() { res.Runtime = time.Since(start) }()
+	root := p.trace().Start("flow.run")
+	root.SetAttr("circuit", bm.Name)
+	root.SetAttr("mode", mode.String())
+	root.SetAttr("seed", p.Seed)
+	defer func() {
+		res.Runtime = time.Since(start)
+		root.SetAttr("sims", res.Sims)
+		root.End()
+	}()
 
 	if mode == Schematic {
+		sp := root.Start("flow.eval")
 		vals, err := bm.Eval(t, bm.Schematic)
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("flow: %s schematic eval: %w", bm.Name, err)
 		}
@@ -132,18 +157,22 @@ func Run(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params) (*Result, err
 		return res, nil
 	}
 
-	choices, err := runLayout(t, bm, mode, p, res)
+	choices, err := runLayout(t, bm, mode, p, res, root)
 	if err != nil {
 		return nil, err
 	}
 
 	// Assemble and evaluate the post-layout netlist.
+	asm := root.Start("flow.assemble")
 	nl, err := Assemble(t, bm, choices)
+	asm.End()
 	if err != nil {
 		return nil, err
 	}
 	res.Netlist = nl
+	ev := root.Start("flow.eval")
 	vals, err := bm.Eval(t, nl)
+	ev.End()
 	if err != nil {
 		return nil, fmt.Errorf("flow: %s post-layout eval (%v): %w", bm.Name, mode, err)
 	}
@@ -157,21 +186,27 @@ func Run(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params) (*Result, err
 // per-instance choices that feed assembly. Golden verification tests
 // call this directly to check geometry without paying for post-layout
 // simulation.
-func runLayout(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params, res *Result) (map[string]*chosen, error) {
+func runLayout(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params, res *Result, root *obs.Span) (map[string]*chosen, error) {
+	sp := root.Start("flow.schematic_op")
 	op, err := bm.SchematicOP(t)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("flow: %s schematic OP: %w", bm.Name, err)
 	}
 
+	prsp := root.Start("flow.primitives")
+	prsp.SetAttr("n_insts", len(bm.Insts))
 	var choices map[string]*chosen
 	switch mode {
 	case Conventional:
-		choices, err = conventionalChoices(t, bm, op)
+		choices, err = conventionalChoices(t, bm, op, prsp)
 	case Optimized, Manual:
-		choices, err = optimizedChoices(t, bm, op, mode, p, res)
+		choices, err = optimizedChoices(t, bm, op, mode, p, res, prsp)
 	default:
+		prsp.End()
 		return nil, fmt.Errorf("flow: unknown mode %v", mode)
 	}
+	prsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -179,13 +214,21 @@ func runLayout(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params, res *Re
 	// Placement over the chosen variants (Optimized keeps all bins as
 	// variants so the placer can trade aspect ratios; Conventional
 	// and Manual have one variant each).
-	pl, err := runPlacement(bm, choices, res, p)
+	psp := root.Start("flow.place")
+	pl, err := runPlacement(bm, choices, res, p, psp)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
 
 	// Global routing between placed primitives.
-	routing, err := runRouting(t, bm, pl, p)
+	rsp := root.Start("flow.route")
+	routing, err := runRouting(t, bm, pl, p, rsp)
+	if err == nil {
+		rsp.SetAttr("nets", len(routing.Nets))
+		rsp.SetAttr("overflow_edges", routing.OverflowEdges)
+	}
+	rsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -196,7 +239,9 @@ func runLayout(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params, res *Re
 	// conventional keeps single routes.
 	netWires := map[string]int{}
 	if mode == Optimized || mode == Manual {
+		posp := root.Start("flow.portopt")
 		pp := p.Port
+		pp.Obs = posp
 		if mode == Manual && pp.MaxWires == 0 {
 			pp.MaxWires = 10
 		}
@@ -208,6 +253,7 @@ func runLayout(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params, res *Re
 			}
 			metrics, err := primMetrics(t, ch)
 			if err != nil {
+				posp.End()
 				return nil, err
 			}
 			netOf := map[string]string{}
@@ -222,6 +268,7 @@ func runLayout(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params, res *Re
 		}
 		pres, err := portopt.Optimize(t, prims, pp)
 		if err != nil {
+			posp.End()
 			return nil, fmt.Errorf("flow: %s port optimization: %w", bm.Name, err)
 		}
 		res.Sims += pres.Sims
@@ -257,6 +304,7 @@ func runLayout(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params, res *Re
 				}
 			}
 		}
+		posp.End()
 	} else {
 		for _, net := range bm.RoutedNets {
 			netWires[circuit.NormalizeNet(net)] = 1
@@ -264,7 +312,7 @@ func runLayout(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params, res *Re
 	}
 	res.NetWires = netWires
 
-	if err := runVerification(t, bm, choices, res, p); err != nil {
+	if err := runVerification(t, bm, choices, res, p, root); err != nil {
 		return nil, err
 	}
 	return choices, nil
@@ -274,10 +322,12 @@ func runLayout(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params, res *Re
 // over the chosen layouts and the routed assembly. VerifyWarn records
 // the report on the result; VerifyFail additionally aborts the run on
 // any violation.
-func runVerification(t *pdk.Tech, bm *circuits.Benchmark, choices map[string]*chosen, res *Result, p Params) error {
+func runVerification(t *pdk.Tech, bm *circuits.Benchmark, choices map[string]*chosen, res *Result, p Params, root *obs.Span) error {
 	if p.Verify.Mode == VerifyOff {
 		return nil
 	}
+	sp := root.Start("flow.verify")
+	defer sp.End()
 	rep := &verify.Report{Target: bm.Name}
 	layouts := map[string]*cellgen.Layout{}
 	for _, name := range sortedKeys(choices) {
@@ -314,7 +364,12 @@ func Verify(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params) (*verify.R
 		p.Verify.Mode = VerifyWarn
 	}
 	res := &Result{Mode: mode, Benchmark: bm.Name}
-	if _, err := runLayout(t, bm, mode, p, res); err != nil {
+	root := p.trace().Start("flow.run")
+	root.SetAttr("circuit", bm.Name)
+	root.SetAttr("mode", mode.String())
+	root.SetAttr("verify_only", true)
+	defer root.End()
+	if _, err := runLayout(t, bm, mode, p, res, root); err != nil {
 		return res.Verify, err
 	}
 	return res.Verify, nil
@@ -322,15 +377,20 @@ func Verify(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params) (*verify.R
 
 // conventionalChoices picks the most compact legal configuration per
 // primitive — geometric constraints only, no performance awareness.
-func conventionalChoices(t *pdk.Tech, bm *circuits.Benchmark, op *spice.OPResult) (map[string]*chosen, error) {
+func conventionalChoices(t *pdk.Tech, bm *circuits.Benchmark, op *spice.OPResult, sp *obs.Span) (map[string]*chosen, error) {
 	out := map[string]*chosen{}
 	for _, in := range bm.Insts {
+		ps := sp.Start("flow.prim")
+		ps.SetAttr("inst", in.Name)
+		ps.SetAttr("kind", in.Kind)
 		entry, err := primlib.Lookup(in.Kind)
 		if err != nil {
+			ps.End()
 			return nil, err
 		}
 		lays, err := entry.FindLayouts(t, in.Sizing, nil)
 		if err != nil {
+			ps.End()
 			return nil, fmt.Errorf("flow: conventional %s: %w", in.Name, err)
 		}
 		best := lays[0]
@@ -341,8 +401,11 @@ func conventionalChoices(t *pdk.Tech, bm *circuits.Benchmark, op *spice.OPResult
 		}
 		ex, err := extract.Primitive(t, best)
 		if err != nil {
+			ps.End()
 			return nil, err
 		}
+		ps.SetAttr("configs", len(lays))
+		ps.End()
 		out[in.Name] = &chosen{inst: in, entry: entry, bias: in.Bias(op), ex: ex}
 	}
 	return out, nil
@@ -351,7 +414,7 @@ func conventionalChoices(t *pdk.Tech, bm *circuits.Benchmark, op *spice.OPResult
 // optimizedChoices runs Algorithm 1 per primitive (concurrently) and
 // takes each primitive's best tuned option; Manual widens the search.
 func optimizedChoices(t *pdk.Tech, bm *circuits.Benchmark, op *spice.OPResult,
-	mode Mode, p Params, res *Result) (map[string]*chosen, error) {
+	mode Mode, p Params, res *Result, sp *obs.Span) (map[string]*chosen, error) {
 	res.PrimResults = map[string]*optimize.Result{}
 	out := map[string]*chosen{}
 	var mu sync.Mutex
@@ -361,12 +424,17 @@ func optimizedChoices(t *pdk.Tech, bm *circuits.Benchmark, op *spice.OPResult,
 		wg.Add(1)
 		go func(i int, in *circuits.Inst) {
 			defer wg.Done()
+			ps := sp.Start("flow.prim")
+			defer ps.End()
+			ps.SetAttr("inst", in.Name)
+			ps.SetAttr("kind", in.Kind)
 			entry, err := primlib.Lookup(in.Kind)
 			if err != nil {
 				errs[i] = err
 				return
 			}
 			op1 := p.Optimize
+			op1.Obs = ps
 			if mode == Manual {
 				// The oracle: more bins, deeper tuning sweeps.
 				if op1.Bins == 0 {
@@ -422,7 +490,7 @@ func primMetrics(t *pdk.Tech, ch *chosen) ([]cost.Metric, error) {
 
 // runPlacement builds placement blocks from the choices. Variants for
 // the optimizing modes come from each primitive's selected options.
-func runPlacement(bm *circuits.Benchmark, choices map[string]*chosen, res *Result, p Params) (*place.Placement, error) {
+func runPlacement(bm *circuits.Benchmark, choices map[string]*chosen, res *Result, p Params, sp *obs.Span) (*place.Placement, error) {
 	var blocks []place.Block
 	for _, name := range sortedKeys(choices) {
 		ch := choices[name]
@@ -473,7 +541,7 @@ func runPlacement(bm *circuits.Benchmark, choices map[string]*chosen, res *Resul
 			sym = append(sym, place.SymPair{A: sw, B: name})
 		}
 	}
-	pl, err := place.Place(blocks, nets, sym, place.Params{Seed: p.Seed})
+	pl, err := place.Place(blocks, nets, sym, place.Params{Seed: p.Seed, Obs: sp})
 	if err != nil {
 		return nil, fmt.Errorf("flow: placement: %w", err)
 	}
@@ -505,7 +573,7 @@ func routeRegion(pl *place.Placement) geom.Rect {
 }
 
 // runRouting routes the benchmark's signal nets over the placement.
-func runRouting(t *pdk.Tech, bm *circuits.Benchmark, pl *place.Placement, p Params) (*route.Result, error) {
+func runRouting(t *pdk.Tech, bm *circuits.Benchmark, pl *place.Placement, p Params, sp *obs.Span) (*route.Result, error) {
 	region := routeRegion(pl)
 	var reqs []route.NetReq
 	for _, netName := range bm.RoutedNets {
@@ -531,7 +599,9 @@ func runRouting(t *pdk.Tech, bm *circuits.Benchmark, pl *place.Placement, p Para
 			reqs = append(reqs, req)
 		}
 	}
-	return route.Route(t, region, reqs, p.Route)
+	rp := p.Route
+	rp.Obs = sp
+	return route.Route(t, region, reqs, rp)
 }
 
 // attachRoutes converts per-net routing geometry into per-instance
@@ -594,17 +664,30 @@ func sortedKeys(m map[string]*chosen) []string {
 func RunFixedWires(t *pdk.Tech, bm *circuits.Benchmark, n int, p Params) (*Result, error) {
 	start := time.Now()
 	res := &Result{Mode: Conventional, Benchmark: bm.Name}
-	defer func() { res.Runtime = time.Since(start) }()
 	if n < 1 {
 		n = 1
 	}
+	root := p.trace().Start("flow.run")
+	root.SetAttr("circuit", bm.Name)
+	root.SetAttr("mode", "fixed_wires")
+	root.SetAttr("n_wires", n)
+	defer func() {
+		res.Runtime = time.Since(start)
+		root.SetAttr("sims", res.Sims)
+		root.End()
+	}()
 
+	sp := root.Start("flow.schematic_op")
 	op, err := bm.SchematicOP(t)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	choices, err := conventionalChoices(t, bm, op)
+	prsp := root.Start("flow.primitives")
+	prsp.SetAttr("n_insts", len(bm.Insts))
+	choices, err := conventionalChoices(t, bm, op, prsp)
 	if err != nil {
+		prsp.End()
 		return nil, err
 	}
 	// Force the wire count everywhere and re-extract.
@@ -615,15 +698,25 @@ func RunFixedWires(t *pdk.Tech, bm *circuits.Benchmark, n int, p Params) (*Resul
 		}
 		ex, err := extract.Primitive(t, ch.ex.Layout)
 		if err != nil {
+			prsp.End()
 			return nil, err
 		}
 		ch.ex = ex
 	}
-	pl, err := runPlacement(bm, choices, res, p)
+	prsp.End()
+	psp := root.Start("flow.place")
+	pl, err := runPlacement(bm, choices, res, p, psp)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
-	routing, err := runRouting(t, bm, pl, p)
+	rsp := root.Start("flow.route")
+	routing, err := runRouting(t, bm, pl, p, rsp)
+	if err == nil {
+		rsp.SetAttr("nets", len(routing.Nets))
+		rsp.SetAttr("overflow_edges", routing.OverflowEdges)
+	}
+	rsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -637,12 +730,16 @@ func RunFixedWires(t *pdk.Tech, bm *circuits.Benchmark, n int, p Params) (*Resul
 			res.NetWires[circuit.NormalizeNet(ch.inst.TermNets[w])] = n
 		}
 	}
+	asm := root.Start("flow.assemble")
 	nl, err := Assemble(t, bm, choices)
+	asm.End()
 	if err != nil {
 		return nil, err
 	}
 	res.Netlist = nl
+	ev := root.Start("flow.eval")
 	vals, err := bm.Eval(t, nl)
+	ev.End()
 	if err != nil {
 		return nil, fmt.Errorf("flow: %s fixed-wires eval: %w", bm.Name, err)
 	}

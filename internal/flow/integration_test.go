@@ -282,7 +282,7 @@ func TestConventionalPicksCompactLayouts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	choices, err := conventionalChoices(tech, bm, op)
+	choices, err := conventionalChoices(tech, bm, op, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

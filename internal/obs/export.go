@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SpanRecord is the JSONL wire form of one span.
+type SpanRecord struct {
+	Type    string         `json:"type"` // "span"
+	ID      int64          `json:"id"`
+	Parent  int64          `json:"parent,omitempty"` // 0 = root
+	Name    string         `json:"name"`
+	StartUS int64          `json:"start_us"` // relative to trace start
+	DurUS   int64          `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// MetricRecord is the JSONL wire form of one metric.
+type MetricRecord struct {
+	Type  string  `json:"type"` // "metric"
+	Kind  string  `json:"kind"` // "counter" | "gauge" | "histogram"
+	Name  string  `json:"name"`
+	Value float64 `json:"value"` // counter/gauge value; histogram mean
+	Count int64   `json:"count,omitempty"`
+	Sum   float64 `json:"sum,omitempty"`
+	Min   float64 `json:"min,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+}
+
+// snapshot flattens the trace under its lock: spans depth-first in
+// start order, then metrics sorted by name. Unended spans export
+// their running duration.
+func (t *Trace) snapshot() ([]SpanRecord, []MetricRecord) {
+	if t == nil {
+		return nil, nil
+	}
+	var spans []SpanRecord
+	t.mu.Lock()
+	var walk func(s *Span, parent int64)
+	walk = func(s *Span, parent int64) {
+		dur := s.dur
+		if !s.ended {
+			dur = time.Since(s.start)
+		}
+		var attrs map[string]any
+		if len(s.attrs) > 0 {
+			attrs = make(map[string]any, len(s.attrs))
+			for k, v := range s.attrs {
+				attrs[k] = v
+			}
+		}
+		spans = append(spans, SpanRecord{
+			Type: "span", ID: s.id, Parent: parent, Name: s.name,
+			StartUS: s.start.Sub(t.start).Microseconds(),
+			DurUS:   dur.Microseconds(),
+			Attrs:   attrs,
+		})
+		for _, c := range s.children {
+			walk(c, s.id)
+		}
+	}
+	for _, r := range t.roots {
+		walk(r, 0)
+	}
+	t.mu.Unlock()
+
+	var metrics []MetricRecord
+	t.reg.mu.RLock()
+	for name, c := range t.reg.counters {
+		metrics = append(metrics, MetricRecord{
+			Type: "metric", Kind: "counter", Name: name, Value: float64(c.Value()),
+		})
+	}
+	for name, g := range t.reg.gauges {
+		metrics = append(metrics, MetricRecord{
+			Type: "metric", Kind: "gauge", Name: name, Value: g.Value(),
+		})
+	}
+	for name, h := range t.reg.histos {
+		st := h.Stats()
+		metrics = append(metrics, MetricRecord{
+			Type: "metric", Kind: "histogram", Name: name,
+			Value: st.Mean(), Count: st.Count, Sum: st.Sum, Min: st.Min, Max: st.Max,
+		})
+	}
+	t.reg.mu.RUnlock()
+	sort.Slice(metrics, func(i, j int) bool { return metrics[i].Name < metrics[j].Name })
+	return spans, metrics
+}
+
+// WriteJSONL streams the trace as one JSON object per line: spans
+// first (depth-first, parents before children), then metrics sorted
+// by name.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	spans, metrics := t.snapshot()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range spans {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	for _, m := range metrics {
+		if err := enc.Encode(m); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Dump is a parsed JSONL trace.
+type Dump struct {
+	Spans   []SpanRecord
+	Metrics []MetricRecord
+}
+
+// ReadJSONL parses a trace written by WriteJSONL.
+func ReadJSONL(r io.Reader) (*Dump, error) {
+	d := &Dump{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal([]byte(text), &probe); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		switch probe.Type {
+		case "span":
+			var s SpanRecord
+			if err := json.Unmarshal([]byte(text), &s); err != nil {
+				return nil, fmt.Errorf("obs: line %d: %w", line, err)
+			}
+			d.Spans = append(d.Spans, s)
+		case "metric":
+			var m MetricRecord
+			if err := json.Unmarshal([]byte(text), &m); err != nil {
+				return nil, fmt.Errorf("obs: line %d: %w", line, err)
+			}
+			d.Metrics = append(d.Metrics, m)
+		default:
+			return nil, fmt.Errorf("obs: line %d: unknown record type %q", line, probe.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Span returns the first span with the given name, or nil.
+func (d *Dump) Span(name string) *SpanRecord {
+	for i := range d.Spans {
+		if d.Spans[i].Name == name {
+			return &d.Spans[i]
+		}
+	}
+	return nil
+}
+
+// SpansNamed returns every span with the given name.
+func (d *Dump) SpansNamed(name string) []SpanRecord {
+	var out []SpanRecord
+	for _, s := range d.Spans {
+		if s.Name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Children returns the spans whose parent is id, in export order.
+func (d *Dump) Children(id int64) []SpanRecord {
+	var out []SpanRecord
+	for _, s := range d.Spans {
+		if s.Parent == id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Metric returns the named metric record, or nil.
+func (d *Dump) Metric(name string) *MetricRecord {
+	for i := range d.Metrics {
+		if d.Metrics[i].Name == name {
+			return &d.Metrics[i]
+		}
+	}
+	return nil
+}
+
+// Tree renders the span forest as an indented human-readable tree
+// with durations and attributes:
+//
+//	flow.run 1.23s circuit=ota5t mode=optimized
+//	  flow.schematic_op 48ms
+//	  flow.primitives 840ms n_prims=5
+//	  ...
+func (t *Trace) Tree() string {
+	spans, _ := t.snapshot()
+	var b strings.Builder
+	depth := map[int64]int{}
+	for _, s := range spans {
+		d := 0
+		if s.Parent != 0 {
+			d = depth[s.Parent] + 1
+		}
+		depth[s.ID] = d
+		fmt.Fprintf(&b, "%s%s %s%s\n", strings.Repeat("  ", d), s.Name,
+			time.Duration(s.DurUS)*time.Microsecond, formatAttrs(s.Attrs))
+	}
+	return b.String()
+}
+
+func formatAttrs(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		v := attrs[k]
+		switch vv := v.(type) {
+		case []float64:
+			// Long series (annealer traces) render as a count.
+			if len(vv) > 8 {
+				fmt.Fprintf(&b, " %s=[%d pts]", k, len(vv))
+				continue
+			}
+		}
+		fmt.Fprintf(&b, " %s=%v", k, v)
+	}
+	return b.String()
+}
+
+// MetricsTable renders an aligned end-of-run summary of every
+// metric, sorted by name.
+func (t *Trace) MetricsTable() string {
+	_, metrics := t.snapshot()
+	if len(metrics) == 0 {
+		return ""
+	}
+	w := 0
+	for _, m := range metrics {
+		if len(m.Name) > w {
+			w = len(m.Name)
+		}
+	}
+	var b strings.Builder
+	for _, m := range metrics {
+		switch m.Kind {
+		case "histogram":
+			fmt.Fprintf(&b, "%-*s  n=%d mean=%.4g min=%.4g max=%.4g sum=%.4g\n",
+				w, m.Name, m.Count, m.Value, m.Min, m.Max, m.Sum)
+		case "gauge":
+			fmt.Fprintf(&b, "%-*s  %.6g\n", w, m.Name, m.Value)
+		default:
+			fmt.Fprintf(&b, "%-*s  %.0f\n", w, m.Name, m.Value)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// registry holds the trace's named metrics. Lookup is
+// read-mostly: the double-checked RLock/Lock pattern keeps the hot
+// path to one read-lock and one map read.
+type registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	histos   map[string]*Histogram
+}
+
+// Counter is a monotonically increasing int64 metric. Safe for
+// concurrent Add from many goroutines.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter (no-op on nil).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value float64 metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores the value (no-op on nil).
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last stored value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram aggregates observations as count/sum/min/max — enough
+// for timing and rate distributions without bucket configuration.
+type Histogram struct {
+	mu       sync.Mutex
+	count    int64
+	sum      float64
+	min, max float64
+}
+
+// Observe records one value (no-op on nil).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// HistStats is a histogram snapshot.
+type HistStats struct {
+	Count         int64
+	Sum, Min, Max float64
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (s HistStats) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Stats snapshots the histogram (zero value for nil).
+func (h *Histogram) Stats() HistStats {
+	if h == nil {
+		return HistStats{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistStats{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+}
+
+// Counter returns (creating on first use) the named counter, or nil
+// on a nil trace.
+func (t *Trace) Counter(name string) *Counter {
+	if t == nil {
+		return nil
+	}
+	t.reg.mu.RLock()
+	c := t.reg.counters[name]
+	t.reg.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	t.reg.mu.Lock()
+	defer t.reg.mu.Unlock()
+	if t.reg.counters == nil {
+		t.reg.counters = make(map[string]*Counter)
+	}
+	if c = t.reg.counters[name]; c == nil {
+		c = &Counter{}
+		t.reg.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge, or nil on a
+// nil trace.
+func (t *Trace) Gauge(name string) *Gauge {
+	if t == nil {
+		return nil
+	}
+	t.reg.mu.RLock()
+	g := t.reg.gauges[name]
+	t.reg.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	t.reg.mu.Lock()
+	defer t.reg.mu.Unlock()
+	if t.reg.gauges == nil {
+		t.reg.gauges = make(map[string]*Gauge)
+	}
+	if g = t.reg.gauges[name]; g == nil {
+		g = &Gauge{}
+		t.reg.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the named histogram, or
+// nil on a nil trace.
+func (t *Trace) Histogram(name string) *Histogram {
+	if t == nil {
+		return nil
+	}
+	t.reg.mu.RLock()
+	h := t.reg.histos[name]
+	t.reg.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	t.reg.mu.Lock()
+	defer t.reg.mu.Unlock()
+	if t.reg.histos == nil {
+		t.reg.histos = make(map[string]*Histogram)
+	}
+	if h = t.reg.histos[name]; h == nil {
+		h = &Histogram{}
+		t.reg.histos[name] = h
+	}
+	return h
+}
+
+// Downsample reduces a series to at most n points by striding,
+// always keeping the last point — used to attach long annealer
+// traces (best cost per band) as span attributes of bounded size.
+func Downsample(xs []float64, n int) []float64 {
+	if n <= 0 || len(xs) <= n {
+		return xs
+	}
+	out := make([]float64, 0, n)
+	stride := float64(len(xs)-1) / float64(n-1)
+	for i := 0; i < n-1; i++ {
+		out = append(out, xs[int(float64(i)*stride)])
+	}
+	return append(out, xs[len(xs)-1])
+}

@@ -1,0 +1,194 @@
+// Package obs is the flow-wide observability layer: hierarchical
+// wall-time spans, named counters/gauges/histograms, JSONL export,
+// and a human-readable tree renderer — stdlib only.
+//
+// Two sinks exist. An explicit *Trace can be injected (flow.Params,
+// the Obs span fields of the stage packages) for tests and embedded
+// use; everything else falls back to the process-wide default set
+// with SetDefault, which cmd/primopt installs when any observability
+// flag is given.
+//
+// The whole API is nil-safe by design: a nil *Trace — and the nil
+// *Span / *Counter / *Gauge / *Histogram values it hands out — turns
+// every call into a branch-on-nil no-op costing ~1 ns with zero
+// allocations, so instrumentation stays in place on hot paths
+// (Newton inner loops, annealer moves) without a disabled-mode tax.
+// Tracing is strictly passive: enabling it never touches RNG streams
+// or iteration order, so traced and untraced runs produce identical
+// layouts (guarded by a flow test).
+//
+// Naming convention: metrics are "pkg.subsystem.name"
+// (e.g. spice.dc.newton_iters, place.anneal.acceptance_rate); stage
+// spans are "flow.<stage>"; package-level sub-spans are
+// "pkg.<phase>" (optimize.select, portopt.reconcile, route.net).
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is one observability sink: a forest of spans plus a metric
+// registry. Safe for concurrent use by multiple goroutines.
+type Trace struct {
+	start time.Time
+
+	mu    sync.Mutex
+	seq   int64
+	roots []*Span
+
+	reg registry
+
+	onSpanEnd atomic.Value // func(*Span)
+}
+
+// New returns an empty enabled trace.
+func New() *Trace { return &Trace{start: time.Now()} }
+
+// Enabled reports whether the trace records anything. It is the
+// guard to use before doing work that only feeds the trace (building
+// attribute slices, reading clocks).
+func (t *Trace) Enabled() bool { return t != nil }
+
+// OnSpanEnd registers fn to be called after every span End — the
+// hook behind live stage reporting (-v). fn runs on the goroutine
+// that ended the span, outside the trace lock.
+func (t *Trace) OnSpanEnd(fn func(*Span)) {
+	if t == nil || fn == nil {
+		return
+	}
+	t.onSpanEnd.Store(fn)
+}
+
+// defaultTrace is the process-wide sink; nil means disabled.
+var defaultTrace atomic.Pointer[Trace]
+
+// Default returns the process-wide trace, or nil when observability
+// is off. The nil result is safe to use directly.
+func Default() *Trace { return defaultTrace.Load() }
+
+// SetDefault installs (or, with nil, removes) the process-wide trace.
+func SetDefault(t *Trace) { defaultTrace.Store(t) }
+
+// Span is one timed region of the trace tree.
+type Span struct {
+	tr     *Trace
+	parent *Span
+	id     int64
+	name   string
+	start  time.Time
+
+	// Guarded by tr.mu.
+	dur      time.Duration
+	ended    bool
+	attrs    map[string]any
+	children []*Span
+}
+
+// Start opens a root-level span.
+func (t *Trace) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tr: t, name: name, start: time.Now()}
+	t.mu.Lock()
+	t.seq++
+	s.id = t.seq
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Start opens a child span.
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr, parent: s, name: name, start: time.Now()}
+	s.tr.mu.Lock()
+	s.tr.seq++
+	c.id = s.tr.seq
+	s.children = append(s.children, c)
+	s.tr.mu.Unlock()
+	return c
+}
+
+// SetAttr attaches a key/value attribute. Values must be
+// JSON-encodable (strings, numbers, bools, and slices thereof).
+func (s *Span) SetAttr(key string, v any) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]any, 4)
+	}
+	s.attrs[key] = v
+	s.tr.mu.Unlock()
+}
+
+// End closes the span, fixing its duration. Ending twice is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if s.ended {
+		s.tr.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	s.tr.mu.Unlock()
+	if fn, ok := s.tr.onSpanEnd.Load().(func(*Span)); ok && fn != nil {
+		fn(s)
+	}
+}
+
+// StartSpan opens a child of parent when parent is non-nil, else a
+// root span on tr. It is the idiom for stage packages that accept an
+// optional parent span in their Params: direct callers get root
+// spans, the flow gets a properly nested tree.
+func StartSpan(tr *Trace, parent *Span, name string) *Span {
+	if parent != nil {
+		return parent.Start(name)
+	}
+	return tr.Start(name)
+}
+
+// Trace returns the owning trace (nil for a nil span).
+func (s *Span) Trace() *Trace {
+	if s == nil {
+		return nil
+	}
+	return s.tr
+}
+
+// Name returns the span name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Dur returns the recorded duration (0 before End or for nil).
+func (s *Span) Dur() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	return s.dur
+}
+
+// Attr returns one attribute value (nil when absent or for nil spans).
+func (s *Span) Attr(key string) any {
+	if s == nil {
+		return nil
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	return s.attrs[key]
+}

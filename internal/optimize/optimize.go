@@ -27,6 +27,7 @@ import (
 	"primopt/internal/cost"
 	"primopt/internal/extract"
 	"primopt/internal/numeric"
+	"primopt/internal/obs"
 	"primopt/internal/pdk"
 	"primopt/internal/primlib"
 )
@@ -52,6 +53,9 @@ type Params struct {
 	// leans on the independence of the per-option simulations.
 	Workers int
 	Cons    *cellgen.Constraints
+	// Obs, when set, parents the optimize.select / optimize.tune
+	// spans; metrics fall back to obs.Default() when nil.
+	Obs *obs.Span
 }
 
 func (p Params) withDefaults() Params {
@@ -113,15 +117,23 @@ func (r *Result) Best() *Option {
 func Optimize(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bias, p Params) (*Result, error) {
 	p = p.withDefaults()
 	res := &Result{Entry: e, Sizing: sz, Bias: bias}
+	tr := p.Obs.Trace()
+	if tr == nil {
+		tr = obs.Default()
+	}
+	et := newEvalTracker(tr)
 
+	sel := obs.StartSpan(tr, p.Obs, "optimize.select")
 	// Line 3 precondition: schematic reference and cost metrics.
 	sch, err := e.Evaluate(t, sz, bias, nil, nil)
 	if err != nil {
+		sel.End()
 		return nil, fmt.Errorf("optimize: schematic reference: %w", err)
 	}
 	res.Schematic = sch
 	metrics, err := e.CostMetrics(t, sz, sch)
 	if err != nil {
+		sel.End()
 		return nil, err
 	}
 	res.Metrics = metrics
@@ -129,6 +141,7 @@ func Optimize(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bia
 	// Step 1 (lines 3–7): evaluate every layout option.
 	layouts, err := e.FindLayouts(t, sz, p.Cons)
 	if err != nil {
+		sel.End()
 		return nil, err
 	}
 	opts := make([]Option, len(layouts))
@@ -141,7 +154,7 @@ func Optimize(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bia
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			opt, err := evaluateOption(t, e, sz, bias, metrics, lay)
+			opt, err := evaluateOption(t, e, sz, bias, metrics, lay, et)
 			if err != nil {
 				errs[i] = err
 				return
@@ -152,6 +165,7 @@ func Optimize(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bia
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			sel.End()
 			return nil, fmt.Errorf("optimize: selection: %w", err)
 		}
 	}
@@ -178,22 +192,84 @@ func Optimize(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bia
 			selected = append(selected, o)
 		}
 	}
+	if tr.Enabled() {
+		tr.Counter("optimize.sims.selection").Add(int64(res.SelectionSims))
+		sel.SetAttr("prim", e.Kind)
+		sel.SetAttr("configs", len(layouts))
+		sel.SetAttr("bins_filled", len(selected))
+		sel.SetAttr("sims", res.SelectionSims)
+	}
+	sel.End()
 
 	// Step 2 (lines 8–15): tuning each selected option.
+	tune := obs.StartSpan(tr, p.Obs, "optimize.tune")
 	for i := range selected {
-		sims, err := tuneOption(t, e, sz, bias, metrics, &selected[i], p)
+		sims, err := tuneOption(t, e, sz, bias, metrics, &selected[i], p, et)
 		if err != nil {
+			tune.End()
 			return nil, fmt.Errorf("optimize: tuning %s: %w", selected[i].Layout.Config.ID(), err)
 		}
 		res.TuningSims += sims
 	}
 	res.Selected = selected
+	if tr.Enabled() {
+		tr.Counter("optimize.sims.tuning").Add(int64(res.TuningSims))
+		ids := make([]string, len(selected))
+		for i := range selected {
+			ids[i] = selected[i].Layout.Config.ID()
+		}
+		tune.SetAttr("prim", e.Kind)
+		tune.SetAttr("selected", ids)
+		tune.SetAttr("sims", res.TuningSims)
+	}
+	tune.End()
 	return res, nil
+}
+
+// evalTracker counts layout evaluations and flags repeats — the same
+// configuration (config ID + wire counts) simulated more than once —
+// which measures how much a result cache would save. Disabled traces
+// cost one nil check.
+type evalTracker struct {
+	tr   *obs.Trace
+	mu   sync.Mutex
+	seen map[string]bool
+}
+
+func newEvalTracker(tr *obs.Trace) *evalTracker {
+	if !tr.Enabled() {
+		return nil
+	}
+	return &evalTracker{tr: tr, seen: make(map[string]bool)}
+}
+
+func (et *evalTracker) record(lay *cellgen.Layout) {
+	if et == nil {
+		return
+	}
+	names := make([]string, 0, len(lay.Wires))
+	for w := range lay.Wires {
+		names = append(names, w)
+	}
+	sort.Strings(names)
+	key := lay.Config.ID()
+	for _, w := range names {
+		key += fmt.Sprintf("|%s=%d", w, lay.Wires[w].NWires)
+	}
+	et.mu.Lock()
+	dup := et.seen[key]
+	et.seen[key] = true
+	et.mu.Unlock()
+	et.tr.Counter("optimize.evals").Inc()
+	if dup {
+		et.tr.Counter("optimize.repeat_evals").Inc()
+	}
 }
 
 // evaluateOption extracts and simulates one layout configuration.
 func evaluateOption(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bias,
-	metrics []cost.Metric, lay *cellgen.Layout) (*Option, error) {
+	metrics []cost.Metric, lay *cellgen.Layout, et *evalTracker) (*Option, error) {
+	et.record(lay)
 	ex, err := extract.Primitive(t, lay)
 	if err != nil {
 		return nil, err
@@ -243,13 +319,13 @@ func assignBins(opts []Option, bins int) {
 // its layout's wire counts and re-evaluating. Returns the number of
 // simulations spent.
 func tuneOption(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bias,
-	metrics []cost.Metric, opt *Option, p Params) (int, error) {
+	metrics []cost.Metric, opt *Option, p Params, et *evalTracker) (int, error) {
 	sims := 0
 	groups := correlationGroups(e.Tuning)
 	for _, group := range groups {
 		if len(group) == 1 {
 			// Lines 9–10: uncorrelated — optimize separately.
-			n, s, err := sweepTerminal(t, e, sz, bias, metrics, opt.Layout, group[0], p.MaxWires)
+			n, s, err := sweepTerminal(t, e, sz, bias, metrics, opt.Layout, group[0], p.MaxWires, et)
 			sims += s
 			if err != nil {
 				return sims, err
@@ -257,7 +333,7 @@ func tuneOption(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.B
 			setWires(opt.Layout, group[0], n)
 		} else {
 			// Lines 11–12: correlated — enumerate combinations.
-			s, err := sweepJoint(t, e, sz, bias, metrics, opt.Layout, group, p.MaxJointWires)
+			s, err := sweepJoint(t, e, sz, bias, metrics, opt.Layout, group, p.MaxJointWires, et)
 			sims += s
 			if err != nil {
 				return sims, err
@@ -265,7 +341,7 @@ func tuneOption(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.B
 		}
 	}
 	// Re-evaluate the tuned configuration.
-	tuned, err := evaluateOption(t, e, sz, bias, metrics, opt.Layout)
+	tuned, err := evaluateOption(t, e, sz, bias, metrics, opt.Layout, et)
 	if err != nil {
 		return sims, err
 	}
@@ -320,7 +396,7 @@ func setWires(lay *cellgen.Layout, term primlib.TuningTerm, n int) {
 // chosen count per the paper's stopping rule (cost minimum, or max
 // curvature for monotone curves).
 func sweepTerminal(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bias,
-	metrics []cost.Metric, lay *cellgen.Layout, term primlib.TuningTerm, maxW int) (int, int, error) {
+	metrics []cost.Metric, lay *cellgen.Layout, term primlib.TuningTerm, maxW int, et *evalTracker) (int, int, error) {
 	costs := make([]float64, 0, maxW)
 	sims := 0
 	orig := map[string]int{}
@@ -337,7 +413,7 @@ func sweepTerminal(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primli
 	rising := 0
 	for n := 1; n <= maxW; n++ {
 		setWires(lay, term, n)
-		opt, err := evaluateOption(t, e, sz, bias, metrics, lay)
+		opt, err := evaluateOption(t, e, sz, bias, metrics, lay, et)
 		if err != nil {
 			return 1, sims, err
 		}
@@ -359,7 +435,7 @@ func sweepTerminal(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primli
 // sweepJoint enumerates wire-count combinations for a correlated
 // group and applies the best, leaving the layout at the optimum.
 func sweepJoint(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bias,
-	metrics []cost.Metric, lay *cellgen.Layout, group []primlib.TuningTerm, maxW int) (int, error) {
+	metrics []cost.Metric, lay *cellgen.Layout, group []primlib.TuningTerm, maxW int, et *evalTracker) (int, error) {
 	if len(group) > 2 {
 		// The paper notes more than two correlated terminals is rare;
 		// bound the enumeration by pairing the first two.
@@ -378,7 +454,7 @@ func sweepJoint(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.B
 			for gi, tt := range group {
 				setWires(lay, tt, idx[gi])
 			}
-			opt, err := evaluateOption(t, e, sz, bias, metrics, lay)
+			opt, err := evaluateOption(t, e, sz, bias, metrics, lay, et)
 			if err != nil {
 				return err
 			}

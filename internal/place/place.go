@@ -17,6 +17,7 @@ import (
 	"math/rand"
 
 	"primopt/internal/geom"
+	"primopt/internal/obs"
 )
 
 // Variant is one layout option of a block (an Algorithm 1 output).
@@ -56,6 +57,10 @@ type Params struct {
 	StartTemp   float64 // default auto
 	WireWeight  float64 // HPWL weight vs area (default 1.0)
 	SymWeight   float64 // symmetry-violation weight (default 4.0)
+	// Obs, when set, parents the place.anneal span (and receives the
+	// schedule attributes); metrics fall back to obs.Default() when
+	// nil. Tracing is passive: it never touches the RNG stream.
+	Obs *obs.Span
 }
 
 func (p Params) withDefaults() Params {
@@ -129,6 +134,15 @@ func Place(blocks []Block, nets []Net, sym []SymPair, p Params) (*Placement, err
 		}
 	}
 
+	tr := p.Obs.Trace()
+	if tr == nil {
+		tr = obs.Default()
+	}
+	sp := obs.StartSpan(tr, p.Obs, "place.anneal")
+	sp.SetAttr("blocks", len(blocks))
+	sp.SetAttr("nets", len(nets))
+	sp.SetAttr("iters_per_band", p.Iterations)
+
 	rng := rand.New(rand.NewSource(p.Seed))
 	cur := st.evaluate(p)
 	best := cur
@@ -141,14 +155,22 @@ func Place(blocks []Block, nets []Net, sym []SymPair, p Params) (*Placement, err
 			temp = 1
 		}
 	}
+	sp.SetAttr("start_temp", temp)
+	// Schedule traces, recorded per temperature band only when
+	// tracing is on (the annealer itself never reads them).
+	enabled := tr.Enabled()
+	var temps, accRates, bestTrace []float64
+	var totalMoves, totalAccepted int64
 	n := len(blocks)
 	for ; temp > cur.cost*1e-4+1e-9; temp *= p.CoolingRate {
+		accepted := 0
 		for it := 0; it < p.Iterations; it++ {
 			undo := st.randomMove(rng, n)
 			next := st.evaluate(p)
 			d := next.cost - cur.cost
 			if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
 				cur = next
+				accepted++
 				if cur.cost < best.cost {
 					best = cur
 					bestSnap = st.snapshot()
@@ -157,10 +179,31 @@ func Place(blocks []Block, nets []Net, sym []SymPair, p Params) (*Placement, err
 				undo()
 			}
 		}
+		if enabled {
+			rate := float64(accepted) / float64(p.Iterations)
+			temps = append(temps, temp)
+			accRates = append(accRates, rate)
+			bestTrace = append(bestTrace, best.cost)
+			totalMoves += int64(p.Iterations)
+			totalAccepted += int64(accepted)
+			tr.Histogram("place.anneal.acceptance_rate").Observe(rate)
+		}
 		if temp < 1e-6 {
 			break
 		}
 	}
+	if enabled {
+		tr.Counter("place.anneal.runs").Inc()
+		tr.Counter("place.anneal.moves").Add(totalMoves)
+		tr.Counter("place.anneal.accepted").Add(totalAccepted)
+		tr.Gauge("place.anneal.best_cost").Set(best.cost)
+		sp.SetAttr("bands", len(temps))
+		sp.SetAttr("best_cost", best.cost)
+		sp.SetAttr("temp_trace", obs.Downsample(temps, 64))
+		sp.SetAttr("accept_trace", obs.Downsample(accRates, 64))
+		sp.SetAttr("best_trace", obs.Downsample(bestTrace, 64))
+	}
+	sp.End()
 	st.restore(bestSnap)
 	return st.placement(p), nil
 }

@@ -21,6 +21,7 @@ import (
 	"primopt/internal/cost"
 	"primopt/internal/extract"
 	"primopt/internal/numeric"
+	"primopt/internal/obs"
 	"primopt/internal/pdk"
 	"primopt/internal/primlib"
 )
@@ -62,6 +63,10 @@ type Constraint struct {
 type Params struct {
 	MaxWires int     // sweep range per port (default 8)
 	Tol      float64 // relative tolerance for the wmax cutoff (default 0.01)
+	// Obs, when set, parents the portopt.constraints /
+	// portopt.reconcile spans; metrics fall back to obs.Default()
+	// when nil.
+	Obs *obs.Span
 }
 
 func (p Params) withDefaults() Params {
@@ -122,6 +127,7 @@ func routesWith(pi *PrimInstance, net string, n int) map[string]extract.Route {
 
 // costAt evaluates a primitive's cost with the given route override.
 func costAt(t *pdk.Tech, pi *PrimInstance, net string, n int) (float64, int, error) {
+	obs.Default().Counter("portopt.evals").Inc()
 	ev, err := pi.Entry.Evaluate(t, pi.Sizing, pi.Bias, pi.Ex, routesWith(pi, net, n))
 	if err != nil {
 		return 0, 0, fmt.Errorf("portopt: %s on %s (n=%d): %w", pi.Name, net, n, err)
@@ -244,6 +250,7 @@ func Reconcile(t *pdk.Tech, prims []*PrimInstance, cons []Constraint, p Params) 
 		// Lines 12–14: disjoint — search [min(wmax), max(wmin)] for
 		// the count minimizing the total cost of the primitives on
 		// this net.
+		obs.Default().Counter("portopt.gap_nets").Inc()
 		lo, hi := minWMax, maxWMin
 		bestN, bestCost := lo, math.Inf(1)
 		for n := lo; n <= hi; n++ {
@@ -273,20 +280,38 @@ func Reconcile(t *pdk.Tech, prims []*PrimInstance, cons []Constraint, p Params) 
 // Optimize runs both steps for a set of placed primitives.
 func Optimize(t *pdk.Tech, prims []*PrimInstance, p Params) (*Result, error) {
 	p = p.withDefaults()
+	tr := p.Obs.Trace()
+	if tr == nil {
+		tr = obs.Default()
+	}
 	res := &Result{Wires: map[string]int{}}
 	for _, pi := range prims {
+		sp := obs.StartSpan(tr, p.Obs, "portopt.constraints")
+		sp.SetAttr("prim", pi.Name)
 		cons, sims, err := GenerateConstraints(t, pi, p)
 		res.Sims += sims
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
+		sp.SetAttr("constraints", len(cons))
+		sp.SetAttr("sims", sims)
+		sp.End()
 		res.Constraints = append(res.Constraints, cons...)
 	}
+	sp := obs.StartSpan(tr, p.Obs, "portopt.reconcile")
 	wires, sims, err := Reconcile(t, prims, res.Constraints, p)
 	res.Sims += sims
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	res.Wires = wires
+	if tr.Enabled() {
+		sp.SetAttr("nets", len(wires))
+		sp.SetAttr("sims", sims)
+		tr.Counter("portopt.sims").Add(int64(res.Sims))
+	}
+	sp.End()
 	return res, nil
 }

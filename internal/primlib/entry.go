@@ -17,6 +17,7 @@ import (
 	"primopt/internal/circuit"
 	"primopt/internal/cost"
 	"primopt/internal/extract"
+	"primopt/internal/obs"
 	"primopt/internal/pdk"
 )
 
@@ -131,8 +132,10 @@ func register(e *Entry) *Entry {
 func Lookup(kind string) (*Entry, error) {
 	e, ok := registry[kind]
 	if !ok {
+		obs.Default().Counter("primlib.lookup_misses").Inc()
 		return nil, fmt.Errorf("primlib: unknown primitive kind %q", kind)
 	}
+	obs.Default().Counter("primlib.lookups").Inc()
 	return e, nil
 }
 
@@ -469,7 +472,12 @@ var (
 
 // FindLayouts generates all candidate layouts for an entry and sizing.
 func (e *Entry) FindLayouts(t *pdk.Tech, sz Sizing, cons *cellgen.Constraints) ([]*cellgen.Layout, error) {
-	return cellgen.GenerateAll(t, e.Spec(sz), cons)
+	lays, err := cellgen.GenerateAll(t, e.Spec(sz), cons)
+	if tr := obs.Default(); tr.Enabled() && err == nil {
+		tr.Counter("primlib.layout_queries").Inc()
+		tr.Counter("primlib.layouts_found").Add(int64(len(lays)))
+	}
+	return lays, err
 }
 
 // Extract extracts a layout for this entry.

@@ -8,6 +8,7 @@ import (
 	"primopt/internal/cost"
 	"primopt/internal/extract"
 	"primopt/internal/lde"
+	"primopt/internal/obs"
 	"primopt/internal/pdk"
 	"primopt/internal/spice"
 )
@@ -49,6 +50,24 @@ func canonicalConfig(sz Sizing) cellgen.Config {
 // adds external global-route RC beyond the named ports (keyed by the
 // cellgen wire name) — the primitive port optimization view.
 func (e *Entry) Evaluate(t *pdk.Tech, sz Sizing, bias Bias, ex *extract.Extracted,
+	routes map[string]extract.Route) (*Eval, error) {
+	ev, err := e.evaluate(t, sz, bias, ex, routes)
+	if tr := obs.Default(); tr.Enabled() {
+		if ex == nil {
+			tr.Counter("primlib.schematic_evals").Inc()
+		} else {
+			tr.Counter("primlib.layout_evals").Inc()
+		}
+		if err != nil {
+			tr.Counter("primlib.eval_failures").Inc()
+		} else {
+			tr.Counter("primlib.sims").Add(int64(ev.Sims))
+		}
+	}
+	return ev, err
+}
+
+func (e *Entry) evaluate(t *pdk.Tech, sz Sizing, bias Bias, ex *extract.Extracted,
 	routes map[string]extract.Route) (*Eval, error) {
 	cfg := canonicalConfig(sz)
 	if ex != nil {

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"primopt/internal/geom"
+	"primopt/internal/obs"
 	"primopt/internal/pdk"
 )
 
@@ -86,6 +87,9 @@ type Params struct {
 	ViaCost float64
 	// CongestionCost scales the per-use edge penalty (default 2).
 	CongestionCost float64
+	// Obs, when set, parents the per-net route.net spans; metrics
+	// fall back to obs.Default() when nil.
+	Obs *obs.Span
 }
 
 func (p Params) withDefaults(t *pdk.Tech) Params {
@@ -126,6 +130,7 @@ type router struct {
 	p      Params
 	nx, ny int
 	use    map[[5]int]int // edge occupancy: (x, y, l, dx, dy)
+	tr     *obs.Trace
 }
 
 // Route routes all nets within the region (placement bounding box
@@ -135,12 +140,17 @@ func Route(t *pdk.Tech, region geom.Rect, nets []NetReq, p Params) (*Result, err
 	if region.Empty() {
 		return nil, fmt.Errorf("route: empty region")
 	}
+	tr := p.Obs.Trace()
+	if tr == nil {
+		tr = obs.Default()
+	}
 	r := &router{
 		tech: t,
 		p:    p,
 		nx:   int(region.W()/p.CellSize) + 3,
 		ny:   int(region.H()/p.CellSize) + 3,
 		use:  make(map[[5]int]int),
+		tr:   tr,
 	}
 	res := &Result{Nets: make(map[string]*NetRoute, len(nets))}
 
@@ -159,10 +169,23 @@ func Route(t *pdk.Tech, region geom.Rect, nets []NetReq, p Params) (*Result, err
 			res.Nets[net.Name] = &NetRoute{Name: net.Name, LengthByLayer: map[pdk.Layer]int64{}}
 			continue
 		}
+		sp := obs.StartSpan(tr, p.Obs, "route.net")
+		sp.SetAttr("net", net.Name)
+		sp.SetAttr("pins", len(net.Pins))
 		nr, err := r.routeNet(region, net)
 		if err != nil {
+			tr.Counter("route.failures").Inc()
+			sp.End()
 			return nil, err
 		}
+		if tr.Enabled() {
+			sp.SetAttr("length_nm", nr.TotalLength())
+			sp.SetAttr("vias", nr.Vias)
+			tr.Counter("route.nets_routed").Inc()
+			tr.Counter("route.vias").Add(int64(nr.Vias))
+			tr.Histogram("route.net.length_nm").Observe(float64(nr.TotalLength()))
+		}
+		sp.End()
 		res.Nets[net.Name] = nr
 	}
 	for _, n := range r.use {
@@ -170,6 +193,7 @@ func Route(t *pdk.Tech, region geom.Rect, nets []NetReq, p Params) (*Result, err
 			res.OverflowEdges++
 		}
 	}
+	tr.Gauge("route.overflow_edges").Set(float64(res.OverflowEdges))
 	return res, nil
 }
 
@@ -274,7 +298,9 @@ func (r *router) astar(tree map[node]bool, region geom.Rect, pin Pin) ([]node, e
 	}
 	var goal node
 	found := false
+	expansions := int64(0)
 	for open.Len() > 0 {
+		expansions++
 		cur := heap.Pop(open).(pqItem)
 		if g, ok := gScore[cur.n]; ok && cur.g > g {
 			continue
@@ -294,6 +320,7 @@ func (r *router) astar(tree map[node]bool, region geom.Rect, pin Pin) ([]node, e
 			}
 		}
 	}
+	r.tr.Counter("route.astar.expansions").Add(expansions)
 	if !found {
 		return nil, fmt.Errorf("no path to (%d, %d)", tx, ty)
 	}

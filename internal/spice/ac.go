@@ -5,9 +5,11 @@ import (
 	"math"
 	"math/cmplx"
 	"strings"
+	"time"
 
 	"primopt/internal/device"
 	"primopt/internal/numeric"
+	"primopt/internal/obs"
 )
 
 // ACResult is a small-signal frequency sweep.
@@ -62,6 +64,12 @@ func (e *Engine) AC(fstart, fstop float64, pointsPerDecade int, op *OPResult) (*
 	}
 	freqs := numeric.Logspace(fstart, fstop, npts)
 
+	tr := obs.Default()
+	var t0 time.Time
+	if tr.Enabled() {
+		t0 = time.Now()
+	}
+
 	// Linearize devices once at the operating point.
 	lin := e.linearizeAt(op)
 
@@ -76,9 +84,15 @@ func (e *Engine) AC(fstart, fstop float64, pointsPerDecade int, op *OPResult) (*
 		lin.stampAC(M, omega)
 		x, err := numeric.SolveLinearC(M, rhs)
 		if err != nil {
+			tr.Counter("spice.ac.failures").Inc()
 			return nil, fmt.Errorf("spice: AC solve at %g Hz: %w", f, err)
 		}
 		res.X = append(res.X, x)
+	}
+	if tr.Enabled() {
+		tr.Counter("spice.ac.runs").Inc()
+		tr.Counter("spice.ac.points").Add(int64(len(freqs)))
+		tr.Histogram("spice.ac.solve_ns").Observe(float64(time.Since(t0).Nanoseconds()))
 	}
 	return res, nil
 }

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"primopt/internal/numeric"
+	"primopt/internal/obs"
 )
 
 // Newton iteration limits and tolerances.
@@ -47,11 +49,27 @@ func (r *OPResult) Current(name string) (float64, error) {
 // stepping, then source stepping. Capacitors are open, inductors are
 // shorts (via their branch equations with zero voltage drop).
 func (e *Engine) OP() (*OPResult, error) {
+	tr := obs.Default()
+	if !tr.Enabled() {
+		return e.op(tr)
+	}
+	t0 := time.Now()
+	r, err := e.op(tr)
+	tr.Histogram("spice.op.solve_ns").Observe(float64(time.Since(t0).Nanoseconds()))
+	tr.Counter("spice.op.runs").Inc()
+	if err != nil {
+		tr.Counter("spice.op.failures").Inc()
+	}
+	return r, err
+}
+
+func (e *Engine) op(tr *obs.Trace) (*OPResult, error) {
 	x := make([]float64, e.n)
 	// Plain Newton from zero with a modest gmin floor.
 	if err := e.newtonDC(x, 1e-12, 1.0); err == nil {
 		return &OPResult{X: x, e: e}, nil
 	}
+	tr.Counter("spice.op.fallbacks").Inc()
 	// gmin stepping: converge with a large shunt conductance, then
 	// relax it geometrically, warm-starting each stage.
 	for i := range x {
@@ -93,7 +111,11 @@ func (e *Engine) newtonDC(x []float64, gmin, srcScale float64) error {
 	J := numeric.NewMatrix(n)
 	rhs := make([]float64, n)
 	xNew := make([]float64, n)
+	tr := obs.Default()
+	iters := 0
+	defer func() { tr.Counter("spice.dc.newton_iters").Add(int64(iters)) }()
 	for iter := 0; iter < maxNewtonIters; iter++ {
+		iters = iter + 1
 		J.Zero()
 		for i := range rhs {
 			rhs[i] = 0
@@ -131,6 +153,7 @@ func (e *Engine) newtonDC(x []float64, gmin, srcScale float64) error {
 			return nil
 		}
 	}
+	tr.Counter("spice.dc.nonconverged").Inc()
 	return fmt.Errorf("no convergence in %d iterations", maxNewtonIters)
 }
 

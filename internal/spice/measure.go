@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 
+	"primopt/internal/obs"
 	"primopt/internal/pdk"
 	"primopt/internal/units"
 )
@@ -483,6 +484,7 @@ func RunDeck(e *Engine, deck *Deck) (*Results, error) {
 // RunSource parses deck text and executes it in one call — the
 // workhorse for primitive testbenches.
 func RunSource(t *pdk.Tech, src string) (*Results, *Deck, error) {
+	obs.Default().Counter("spice.decks").Inc()
 	deck, err := ParseDeck(src)
 	if err != nil {
 		return nil, nil, err

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"primopt/internal/device"
 	"primopt/internal/numeric"
+	"primopt/internal/obs"
 )
 
 // TranResult is a transient waveform set sampled at the requested
@@ -146,6 +148,11 @@ func (e *Engine) Tran(tstep, tstop float64, opts TranOpts) (*TranResult, error) 
 	if opts.MaxInternalStep > 0 && opts.MaxInternalStep < h {
 		h = opts.MaxInternalStep
 	}
+	tr := obs.Default()
+	var t0 time.Time
+	if tr.Enabled() {
+		t0 = time.Now()
+	}
 	t := 0.0
 	for t < tstop-1e-21 {
 		tNext := t + tstep
@@ -153,11 +160,17 @@ func (e *Engine) Tran(tstep, tstop float64, opts TranOpts) (*TranResult, error) 
 			tNext = tstop
 		}
 		if err := st.advanceTo(x, t, tNext, h, 0); err != nil {
+			tr.Counter("spice.tran.failures").Inc()
 			return nil, fmt.Errorf("spice: tran stalled at t=%.4g: %w", t, err)
 		}
 		t = tNext
 		res.Times = append(res.Times, t)
 		res.X = append(res.X, append([]float64(nil), x...))
+	}
+	if tr.Enabled() {
+		tr.Counter("spice.tran.runs").Inc()
+		tr.Counter("spice.tran.points").Add(int64(len(res.Times)))
+		tr.Histogram("spice.tran.solve_ns").Observe(float64(time.Since(t0).Nanoseconds()))
 	}
 	return res, nil
 }
@@ -176,6 +189,7 @@ func (st *tranState) advanceTo(x []float64, t, tEnd, h float64, depth int) error
 			if depth >= 12 {
 				return err
 			}
+			obs.Default().Counter("spice.tran.halvings").Inc()
 			if err2 := st.advanceTo(x, t, t+step, step/2, depth+1); err2 != nil {
 				return err2
 			}
@@ -251,7 +265,12 @@ func (st *tranState) step(x []float64, t, h float64) ([]float64, []float64, erro
 		icomps[i] = indComp{req: req, veq: -vPrev - req*st.indIPrev[i]}
 	}
 
+	tr := obs.Default()
+	tr.Counter("spice.tran.steps").Inc()
+	iters := 0
+	defer func() { tr.Counter("spice.tran.newton_iters").Add(int64(iters)) }()
 	for iter := 0; iter < maxNewtonIters; iter++ {
+		iters = iter + 1
 		J.Zero()
 		for i := range rhs {
 			rhs[i] = 0
