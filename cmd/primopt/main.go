@@ -20,6 +20,7 @@ import (
 
 	"primopt/internal/cellgen"
 	"primopt/internal/circuits"
+	"primopt/internal/evcache"
 	"primopt/internal/flow"
 	"primopt/internal/layoutio"
 	"primopt/internal/mc"
@@ -46,6 +47,8 @@ func main() {
 	table := flag.String("table", "", "paper artifact: fig2, 1..8, ablations, all")
 	stages := flag.Int("stages", 8, "RO-VCO stage count")
 	seed := flag.Int64("seed", 1, "placement seed")
+	cache := flag.Bool("cache", true, "memoize primitive evaluations across a run (identical results, fewer SPICE decks)")
+	workers := flag.Int("workers", 0, "max concurrent SPICE evaluations per primitive (0 = default 8)")
 	svgPath := flag.String("svg", "", "write the optimized floorplan + routes as SVG to this file")
 	consPath := flag.String("constraints", "", "write the detailed-router constraints of the optimized run to this file")
 	mcRun := flag.Bool("mc", false, "run the Monte Carlo offset comparison across DP patterns")
@@ -72,7 +75,7 @@ func main() {
 	case *table != "":
 		runErr = runTables(tech, *table, *stages)
 	case *circuitName != "":
-		runErr = runCircuit(tech, *circuitName, *mode, *stages, *seed)
+		runErr = runCircuit(tech, *circuitName, *mode, *stages, *seed, *cache, *workers)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -109,7 +112,7 @@ func buildCircuit(tech *pdk.Tech, name string, stages int) (*circuits.Benchmark,
 	}
 }
 
-func runCircuit(tech *pdk.Tech, name, modeName string, stages int, seed int64) error {
+func runCircuit(tech *pdk.Tech, name, modeName string, stages int, seed int64, cache bool, workers int) error {
 	bm, err := buildCircuit(tech, name, stages)
 	if err != nil {
 		return err
@@ -135,12 +138,25 @@ func runCircuit(tech *pdk.Tech, name, modeName string, stages int, seed int64) e
 		append([]string{"Metric (unit)"}, modeNames(order)...)...)
 	results := map[flow.Mode]*flow.Result{}
 	for _, m := range order {
-		r, err := flow.Run(tech, bm, m, flow.Params{Seed: seed})
+		p := flow.Params{Seed: seed}
+		p.Optimize.Workers = workers
+		// A fresh cache per run keeps the per-mode timings honest (no
+		// mode warms another mode's entries); within the run, every
+		// primitive instance of the circuit shares it.
+		if cache && (m == flow.Optimized || m == flow.Manual) {
+			p.Optimize.Cache = evcache.New()
+		}
+		r, err := flow.Run(tech, bm, m, p)
 		if err != nil {
 			return err
 		}
 		results[m] = r
 		fmt.Printf("%-12s done in %s (%d SPICE runs)\n", m, r.Runtime.Round(1e6), r.Sims)
+		if c := p.Optimize.Cache; c != nil {
+			st := c.Stats()
+			fmt.Printf("%-12s cache: %d hits / %d misses, %d entries (~%d KiB)\n",
+				m, st.Hits, st.Misses, st.Entries, st.Bytes/1024)
+		}
 		if consOut != "" && m == flow.Optimized {
 			if err := os.WriteFile(consOut, []byte(r.RouterConstraints(bm)), 0o644); err != nil {
 				return err

@@ -142,13 +142,23 @@ func liveStageLine(s *obs.Span) {
 type benchRun struct {
 	Circuit string             `json:"circuit"`
 	Mode    string             `json:"mode"`
+	Cache   bool               `json:"cache"`
 	TotalMS float64            `json:"total_ms"`
 	Sims    float64            `json:"sims,omitempty"`
 	Stages  map[string]float64 `json:"stages_ms"`
 }
 
+// key identifies the run configuration a bench entry measures; a new
+// measurement of the same configuration replaces the old one.
+func (b benchRun) key() string {
+	return fmt.Sprintf("%s|%s|%t", b.Circuit, b.Mode, b.Cache)
+}
+
 // writeBench distills the trace's flow.run spans into a small JSON
-// benchmark artifact: wall-clock per stage, per run.
+// benchmark artifact: wall-clock per stage, per run. It merges into
+// an existing file — entries for other (circuit, mode, cache)
+// configurations are kept — so repeated partial runs accumulate a
+// before/after perf trajectory instead of clobbering each other.
 func writeBench(tr *obs.Trace, path string) error {
 	var buf strings.Builder
 	if err := tr.WriteJSONL(&buf); err != nil {
@@ -159,6 +169,15 @@ func writeBench(tr *obs.Trace, path string) error {
 		return err
 	}
 	var runs []benchRun
+	if prev, err := os.ReadFile(path); err == nil {
+		var old struct {
+			Runs []benchRun `json:"runs"`
+		}
+		// A malformed existing file is simply overwritten.
+		if json.Unmarshal(prev, &old) == nil {
+			runs = old.Runs
+		}
+	}
 	for _, root := range d.SpansNamed("flow.run") {
 		br := benchRun{
 			Circuit: attrString(root.Attrs, "circuit"),
@@ -166,19 +185,35 @@ func writeBench(tr *obs.Trace, path string) error {
 			TotalMS: float64(root.DurUS) / 1e3,
 			Stages:  map[string]float64{},
 		}
+		if v, ok := root.Attrs["cache"].(bool); ok {
+			br.Cache = v
+		}
 		if v, ok := root.Attrs["sims"].(float64); ok {
 			br.Sims = v
 		}
 		for _, c := range d.Children(root.ID) {
 			br.Stages[c.Name] += float64(c.DurUS) / 1e3
 		}
-		runs = append(runs, br)
+		replaced := false
+		for i := range runs {
+			if runs[i].key() == br.key() {
+				runs[i] = br
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			runs = append(runs, br)
+		}
 	}
 	sort.Slice(runs, func(i, j int) bool {
 		if runs[i].Circuit != runs[j].Circuit {
 			return runs[i].Circuit < runs[j].Circuit
 		}
-		return runs[i].Mode < runs[j].Mode
+		if runs[i].Mode != runs[j].Mode {
+			return runs[i].Mode < runs[j].Mode
+		}
+		return !runs[i].Cache && runs[j].Cache
 	})
 	out, err := json.MarshalIndent(map[string]any{"runs": runs}, "", "  ")
 	if err != nil {
@@ -271,6 +306,36 @@ func runCheckTrace(args []string) int {
 			}
 		}
 	}
+	// Cache accounting: when every optimizing run in the trace had the
+	// evaluation cache installed, each repeated evaluation request must
+	// have been served as a cache hit — that is the cache's whole
+	// contract, so the two counters must agree exactly.
+	cachedRuns, uncachedRuns := 0, 0
+	for _, root := range d.SpansNamed("flow.run") {
+		m := attrString(root.Attrs, "mode")
+		if m != "optimized" && m != "manual" {
+			continue
+		}
+		if v, ok := root.Attrs["cache"].(bool); ok && v {
+			cachedRuns++
+		} else {
+			uncachedRuns++
+		}
+	}
+	if cachedRuns > 0 && uncachedRuns == 0 {
+		var hits, repeats float64
+		if m := d.Metric("evcache.hits"); m != nil {
+			hits = m.Value
+		}
+		if m := d.Metric("optimize.repeat_evals"); m != nil {
+			repeats = m.Value
+		}
+		if hits != repeats {
+			problems = append(problems, fmt.Sprintf(
+				"evcache.hits (%.0f) != optimize.repeat_evals (%.0f): cached run still repeated evaluations", hits, repeats))
+		}
+	}
+
 	// Structural sanity: every non-root span's parent must exist.
 	ids := map[int64]bool{}
 	for _, s := range d.Spans {

@@ -6,6 +6,7 @@ import (
 	"os"
 	"strings"
 
+	"primopt/internal/evcache"
 	"primopt/internal/flow"
 	"primopt/internal/pdk"
 )
@@ -67,7 +68,11 @@ func runVerifyCmd(args []string) int {
 
 	status := 0
 	for _, m := range order {
-		rep, err := flow.Verify(tech, bm, m, flow.Params{Seed: *seed})
+		p := flow.Params{Seed: *seed}
+		if m == flow.Optimized || m == flow.Manual {
+			p.Optimize.Cache = evcache.New()
+		}
+		rep, err := flow.Verify(tech, bm, m, p)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "primopt verify: %s/%v: %v\n", bm.Name, m, err)
 			return 2

@@ -1,0 +1,34 @@
+package cellgen
+
+import "primopt/internal/lde"
+
+// Clone returns a deep copy of the layout: every slice, the unit
+// raster, and — crucially — the Wires map with fresh *WireEst values,
+// so tuning's in-place wire-count mutations on the copy can never
+// reach the original. The evaluation cache and the tuning step both
+// rely on this to keep selection-phase rows (the paper's Table III
+// data) immutable once reported.
+func (l *Layout) Clone() *Layout {
+	if l == nil {
+		return nil
+	}
+	out := *l
+	if l.UnitCtx != nil {
+		out.UnitCtx = make([][]lde.Context, len(l.UnitCtx))
+		for d, ctxs := range l.UnitCtx {
+			out.UnitCtx[d] = append([]lde.Context(nil), ctxs...)
+		}
+	}
+	out.Shift = append([]lde.Shift(nil), l.Shift...)
+	out.Centroid = append([]float64(nil), l.Centroid...)
+	out.Junctions = append([]Junction(nil), l.Junctions...)
+	out.Units = append([]UnitPlace(nil), l.Units...)
+	if l.Wires != nil {
+		out.Wires = make(map[string]*WireEst, len(l.Wires))
+		for name, w := range l.Wires {
+			cw := *w
+			out.Wires[name] = &cw
+		}
+	}
+	return &out
+}

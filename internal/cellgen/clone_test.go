@@ -1,0 +1,59 @@
+package cellgen
+
+import (
+	"testing"
+
+	"primopt/internal/lde"
+)
+
+func cloneFixture() *Layout {
+	return &Layout{
+		Config:      Config{NFin: 12, NF: 20, M: 4, Dummies: 2, Pattern: PatABBA},
+		AspectRatio: 0.5,
+		UnitCtx:     [][]lde.Context{{{NF: 20, SA: 40, SB: 40}}, {{NF: 20, SA: 60, SB: 60}}},
+		Shift:       []lde.Shift{{DVth: 1e-3, MuFactor: 0.99}, {DVth: -1e-3, MuFactor: 1.01}},
+		Centroid:    []float64{1.5, -1.5},
+		Junctions:   []Junction{{AD: 100, AS: 120, PD: 30, PS: 32}},
+		Units:       []UnitPlace{{Dev: 0, Row: 0, Col: 1, X: 54}},
+		Wires: map[string]*WireEst{
+			"s": {Layer: 2, Length: 900, StrapLen: 120, Straps: 4, BusTracks: 2, NWires: 1},
+			"d": {Layer: 2, Length: 450, Straps: 2, NWires: 3},
+		},
+	}
+}
+
+func TestLayoutCloneIsDeep(t *testing.T) {
+	orig := cloneFixture()
+	cl := orig.Clone()
+
+	// Wire values are the tuning knob — fresh pointers, equal values.
+	for name, w := range orig.Wires {
+		cw := cl.Wires[name]
+		if cw == w {
+			t.Fatalf("wire %s shares its pointer", name)
+		}
+		if *cw != *w {
+			t.Errorf("wire %s differs after clone: %+v vs %+v", name, *cw, *w)
+		}
+	}
+	cl.Wires["s"].NWires = 8
+	cl.Shift[0].DVth = 42
+	cl.UnitCtx[0][0].SA = 42
+	cl.Centroid[0] = 42
+	cl.Junctions[0].AD = 42
+	cl.Units[0].X = 42
+	if orig.Wires["s"].NWires != 1 {
+		t.Error("wire mutation reached the original")
+	}
+	if orig.Shift[0].DVth != 1e-3 || orig.UnitCtx[0][0].SA != 40 ||
+		orig.Centroid[0] != 1.5 || orig.Junctions[0].AD != 100 || orig.Units[0].X != 54 {
+		t.Error("slice mutation reached the original")
+	}
+}
+
+func TestLayoutCloneNil(t *testing.T) {
+	var l *Layout
+	if l.Clone() != nil {
+		t.Error("nil layout clone must stay nil")
+	}
+}

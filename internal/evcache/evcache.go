@@ -1,0 +1,216 @@
+// Package evcache is the concurrency-safe memoization cache for
+// primitive layout evaluations — the result cache that PR 2's
+// optimize.repeat_evals counter was measuring the demand for. One
+// evaluation (extraction + the primitive's SPICE testbenches) is
+// keyed by the exact snapshot that determines its outcome: primitive
+// kind, sizing and bias fingerprints, the full layout configuration,
+// and the sorted per-terminal wire counts. Because the key carries
+// sizing and bias, a single cache is safe to share across Optimize
+// calls and across every primitive instance of a circuit flow — the
+// RO-VCO's N identical current-starved stages all hit the same
+// entries, the reuse-across-the-hierarchy ALIGN motivates.
+//
+// Correctness rests on two properties:
+//
+//   - Deep isolation: entries are stored as deep copies and handed
+//     out as deep copies, so tuning's in-place wire mutations on a
+//     returned layout can never corrupt the cache (or vice versa).
+//   - Single flight: concurrent requests for the same uncomputed key
+//     block on one computation instead of racing duplicate SPICE
+//     runs; every waiter counts as a hit, so with a cache installed
+//     optimize.repeat_evals == evcache.hits by construction.
+//
+// Errors are never cached — a failed computation releases the key so
+// a later request recomputes (and the whole run aborts anyway).
+package evcache
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"primopt/internal/cellgen"
+	"primopt/internal/cost"
+	"primopt/internal/extract"
+	"primopt/internal/obs"
+	"primopt/internal/primlib"
+)
+
+// Entry is one cached evaluation. Layout evaluations fill every
+// field; schematic reference evaluations (no layout) carry only Eval.
+type Entry struct {
+	Layout *cellgen.Layout
+	Ex     *extract.Extracted
+	Eval   *primlib.Eval
+	Cost   float64 // Eq. (5), percent points
+	Values []cost.Value
+}
+
+// clone deep-copies an entry. The Layout/Ex aliasing invariant is
+// preserved: the cloned Layout is the cloned Ex's layout.
+func (e *Entry) clone() *Entry {
+	out := &Entry{Cost: e.Cost, Eval: e.Eval.Clone()}
+	out.Values = append([]cost.Value(nil), e.Values...)
+	if e.Ex != nil {
+		out.Ex = e.Ex.Clone()
+		out.Layout = out.Ex.Layout
+	} else if e.Layout != nil {
+		out.Layout = e.Layout.Clone()
+	}
+	return out
+}
+
+// approxBytes estimates the retained size of an entry, for the
+// evcache.bytes counter. It is an accounting estimate (struct sizes
+// plus per-element costs), not a precise heap measurement.
+func (e *Entry) approxBytes() int64 {
+	n := int64(128)
+	if e.Layout != nil {
+		n += 256 + int64(len(e.Layout.Units))*32 + int64(len(e.Layout.Wires))*96
+		for _, ctxs := range e.Layout.UnitCtx {
+			n += int64(len(ctxs)) * 48
+		}
+	}
+	if e.Ex != nil {
+		n += 64 + int64(len(e.Ex.Dev))*48 + int64(len(e.Ex.Term))*56
+	}
+	if e.Eval != nil {
+		n += 32 + int64(len(e.Eval.Values))*40
+	}
+	n += int64(len(e.Values)) * 72
+	return n
+}
+
+// Key renders the canonical snapshot key for a layout evaluation of
+// one primitive. A nil layout keys the schematic reference
+// evaluation of the same (kind, sizing, bias). The layout part is
+// the full configuration (including dummies, which Config.ID omits)
+// plus the sorted per-terminal wire counts — exactly the state the
+// testbench decks depend on.
+func Key(kind string, sz primlib.Sizing, bias primlib.Bias, lay *cellgen.Layout) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|fins=%d;L=%d;rB=%d;I=%g", kind, sz.TotalFins, sz.L, sz.RatioB, sz.NominalI)
+	fmt.Fprintf(&b, "|vdd=%g;vcm=%g;vd=%g;it=%g;cl=%g;vctl=%g;vcas=%g",
+		bias.Vdd, bias.VCM, bias.VD, bias.ITail, bias.CLoad, bias.VCtrl, bias.VCasc)
+	if lay == nil {
+		b.WriteString("|schematic")
+		return b.String()
+	}
+	c := lay.Config
+	fmt.Fprintf(&b, "|cfg=%d/%d/%d/%d/%s", c.NFin, c.NF, c.M, c.Dummies, c.Pattern)
+	names := make([]string, 0, len(lay.Wires))
+	for w := range lay.Wires {
+		names = append(names, w)
+	}
+	sort.Strings(names)
+	for _, w := range names {
+		fmt.Fprintf(&b, "|%s=%d", w, lay.Wires[w].NWires)
+	}
+	return b.String()
+}
+
+// Cache is a concurrency-safe memoization table of evaluation
+// entries with single-flight computation. The zero value is not
+// usable; call New.
+type Cache struct {
+	mu        sync.Mutex
+	entries   map[string]*Entry
+	inflight  map[string]chan struct{}
+	requested map[string]bool
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	bytes  atomic.Int64
+}
+
+// New returns an empty cache.
+func New() *Cache {
+	return &Cache{
+		entries:   make(map[string]*Entry),
+		inflight:  make(map[string]chan struct{}),
+		requested: make(map[string]bool),
+	}
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits, Misses int64
+	Entries      int
+	Bytes        int64
+}
+
+// Stats snapshots the cache (zero value for nil).
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return Stats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Entries: n,
+		Bytes:   c.bytes.Load(),
+	}
+}
+
+// MarkRequested records that key has been asked for and reports
+// whether it had been asked for before. The optimizer's repeat-eval
+// tracker uses this so its dedup scope matches the cache's sharing
+// scope (process-wide with a shared cache, rather than per-Optimize).
+func (c *Cache) MarkRequested(key string) bool {
+	c.mu.Lock()
+	dup := c.requested[key]
+	c.requested[key] = true
+	c.mu.Unlock()
+	return dup
+}
+
+// Do returns the entry for key, computing it at most once. On a hit
+// (including waiting out another goroutine's in-flight computation)
+// the caller receives a deep copy, free to mutate. On a miss the
+// computed entry is returned as-is and a deep copy is stored, so the
+// cache never aliases the caller's live layout. Counters land on tr
+// (nil-safe): evcache.hits, evcache.misses, evcache.bytes.
+func (c *Cache) Do(tr *obs.Trace, key string, compute func() (*Entry, error)) (*Entry, error) {
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			c.mu.Unlock()
+			c.hits.Add(1)
+			tr.Counter("evcache.hits").Inc()
+			return e.clone(), nil
+		}
+		if ch, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			<-ch
+			// Re-check: the computation either stored an entry (hit)
+			// or failed (loop and become the computer ourselves).
+			continue
+		}
+		ch := make(chan struct{})
+		c.inflight[key] = ch
+		c.mu.Unlock()
+
+		ent, err := compute()
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if err == nil {
+			stored := ent.clone()
+			c.entries[key] = stored
+			c.bytes.Add(stored.approxBytes())
+		}
+		c.mu.Unlock()
+		close(ch)
+		if err != nil {
+			return nil, err
+		}
+		c.misses.Add(1)
+		tr.Counter("evcache.misses").Inc()
+		tr.Counter("evcache.bytes").Add(ent.approxBytes())
+		return ent, nil
+	}
+}

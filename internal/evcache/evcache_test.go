@@ -1,0 +1,187 @@
+package evcache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"primopt/internal/cellgen"
+	"primopt/internal/obs"
+	"primopt/internal/primlib"
+)
+
+func testLayout() *cellgen.Layout {
+	return &cellgen.Layout{
+		Config: cellgen.Config{NFin: 12, NF: 20, M: 4, Dummies: 2, Pattern: cellgen.PatABBA},
+		Wires: map[string]*cellgen.WireEst{
+			"s":   {NWires: 1, Length: 100},
+			"d_a": {NWires: 2, Length: 50},
+		},
+	}
+}
+
+func testEntry() *Entry {
+	return &Entry{
+		Layout: testLayout(),
+		Eval:   &primlib.Eval{Values: map[string]float64{"gain": 10}, Sims: 3},
+		Cost:   4.5,
+	}
+}
+
+func TestKeySnapshot(t *testing.T) {
+	sz := primlib.Sizing{TotalFins: 960, L: 14}
+	bias := primlib.Bias{Vdd: 0.8, VCM: 0.45}
+	lay := testLayout()
+	base := Key("dp", sz, bias, lay)
+
+	if again := Key("dp", sz, bias, lay); again != base {
+		t.Errorf("key not stable: %q vs %q", base, again)
+	}
+	// Dummies are part of the snapshot even though Config.ID omits
+	// them — a dummy-count change moves the LDE environment.
+	moreDummies := testLayout()
+	moreDummies.Config.Dummies = 4
+	if Key("dp", sz, bias, moreDummies) == base {
+		t.Error("dummy count not in the key")
+	}
+	wires := testLayout()
+	wires.Wires["s"].NWires = 3
+	if Key("dp", sz, bias, wires) == base {
+		t.Error("wire count not in the key")
+	}
+	otherBias := bias
+	otherBias.ITail = 100e-6
+	if Key("dp", sz, otherBias, lay) == base {
+		t.Error("bias not in the key")
+	}
+	otherSz := sz
+	otherSz.TotalFins = 480
+	if Key("dp", otherSz, bias, lay) == base {
+		t.Error("sizing not in the key")
+	}
+	if Key("cm", sz, bias, lay) == base {
+		t.Error("kind not in the key")
+	}
+	// The schematic key is distinct from every layout key.
+	if sk := Key("dp", sz, bias, nil); sk == base {
+		t.Error("schematic key collides with layout key")
+	}
+}
+
+func TestDoSingleflight(t *testing.T) {
+	c := New()
+	tr := obs.New()
+	const goroutines = 16
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for range [goroutines]struct{}{} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			ent, err := c.Do(tr, "k", func() (*Entry, error) {
+				computes.Add(1)
+				return testEntry(), nil
+			})
+			if err != nil || ent == nil || ent.Cost != 4.5 {
+				t.Errorf("Do: ent=%v err=%v", ent, err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Errorf("compute ran %d times, want 1", n)
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != goroutines || st.Misses != 1 {
+		t.Errorf("stats = %+v, want %d hits + 1 miss", st, goroutines-1)
+	}
+	if hits := tr.Counter("evcache.hits").Value(); hits != goroutines-1 {
+		t.Errorf("evcache.hits = %d, want %d", hits, goroutines-1)
+	}
+}
+
+func TestDoDeepIsolation(t *testing.T) {
+	c := New()
+	if _, err := c.Do(nil, "k", func() (*Entry, error) { return testEntry(), nil }); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Do(nil, "k", func() (*Entry, error) {
+		t.Fatal("hit path must not compute")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the handed-out copy must not reach the cache.
+	got.Layout.Wires["s"].NWires = 99
+	got.Eval.Values["gain"] = -1
+	again, err := c.Do(nil, "k", func() (*Entry, error) { return nil, errors.New("no") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := again.Layout.Wires["s"].NWires; n != 1 {
+		t.Errorf("cached wire count corrupted to %d", n)
+	}
+	if v := again.Eval.Values["gain"]; v != 10 {
+		t.Errorf("cached eval corrupted to %v", v)
+	}
+	if again.Layout == got.Layout || again.Eval == got.Eval {
+		t.Error("cache handed out shared pointers")
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := New()
+	boom := errors.New("boom")
+	if _, err := c.Do(nil, "k", func() (*Entry, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
+		t.Errorf("failed compute leaked into stats: %+v", st)
+	}
+	ent, err := c.Do(nil, "k", func() (*Entry, error) { return testEntry(), nil })
+	if err != nil || ent.Cost != 4.5 {
+		t.Fatalf("recompute after error: ent=%v err=%v", ent, err)
+	}
+	if st := c.Stats(); st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats after recovery = %+v", st)
+	}
+}
+
+func TestMarkRequested(t *testing.T) {
+	c := New()
+	if c.MarkRequested("a") {
+		t.Error("first request reported as duplicate")
+	}
+	if !c.MarkRequested("a") {
+		t.Error("second request not reported as duplicate")
+	}
+	if c.MarkRequested("b") {
+		t.Error("unrelated key reported as duplicate")
+	}
+}
+
+func TestNilCacheStats(t *testing.T) {
+	var c *Cache
+	if st := c.Stats(); st != (Stats{}) {
+		t.Errorf("nil cache stats = %+v", st)
+	}
+}
+
+func TestEntryCloneSchematic(t *testing.T) {
+	// Schematic entries carry only an Eval; clone must not invent
+	// layout state, and must still deep-copy.
+	e := &Entry{Eval: &primlib.Eval{Values: map[string]float64{"gm": 1}, Sims: 2}}
+	cl := e.clone()
+	if cl.Layout != nil || cl.Ex != nil {
+		t.Error("schematic clone grew layout state")
+	}
+	cl.Eval.Values["gm"] = 7
+	if e.Eval.Values["gm"] != 1 {
+		t.Error("schematic clone shares the eval map")
+	}
+}

@@ -1,0 +1,36 @@
+package extract
+
+import (
+	"testing"
+
+	"primopt/internal/cellgen"
+)
+
+func TestExtractedCloneIsDeep(t *testing.T) {
+	lay := &cellgen.Layout{
+		Config: cellgen.Config{NFin: 12, NF: 20, M: 4},
+		Wires:  map[string]*cellgen.WireEst{"s": {NWires: 1, Length: 100}},
+	}
+	ex := &Extracted{
+		Layout: lay,
+		Dev:    []DevParasitics{{DVth: 1e-3, AD: 100}},
+		Term:   map[string]TermRC{"s": {R: 10, CNear: 1e-15, CFar: 1e-15}},
+	}
+	cl := ex.Clone()
+	if cl.Layout == ex.Layout {
+		t.Fatal("clone shares the layout pointer")
+	}
+	cl.Layout.Wires["s"].NWires = 9
+	cl.Dev[0].DVth = 42
+	cl.Term["s"] = TermRC{R: 99}
+	if ex.Layout.Wires["s"].NWires != 1 || ex.Dev[0].DVth != 1e-3 || ex.Term["s"].R != 10 {
+		t.Error("mutation reached the original extracted view")
+	}
+}
+
+func TestExtractedCloneNil(t *testing.T) {
+	var ex *Extracted
+	if ex.Clone() != nil {
+		t.Error("nil extracted clone must stay nil")
+	}
+}

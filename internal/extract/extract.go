@@ -46,6 +46,28 @@ type Extracted struct {
 	Term   map[string]TermRC
 }
 
+// Clone returns a deep copy of the extracted view, including a deep
+// copy of the underlying layout (Layout on the clone points at the
+// cloned layout, preserving the Layout/Extracted aliasing invariant
+// evaluateOption establishes). Used by the evaluation cache so cached
+// results never share mutable state with live tuning layouts.
+func (ex *Extracted) Clone() *Extracted {
+	if ex == nil {
+		return nil
+	}
+	out := &Extracted{
+		Layout: ex.Layout.Clone(),
+		Dev:    append([]DevParasitics(nil), ex.Dev...),
+	}
+	if ex.Term != nil {
+		out.Term = make(map[string]TermRC, len(ex.Term))
+		for k, v := range ex.Term {
+			out.Term[k] = v
+		}
+	}
+	return out
+}
+
 // spineInjectionFactor is the effective-resistance divisor for the
 // spine part of a mesh: current injected uniformly along the length
 // with a center tap gives the classic R/8 distributed result, and the

@@ -140,6 +140,7 @@ func Run(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params) (*Result, err
 	root.SetAttr("circuit", bm.Name)
 	root.SetAttr("mode", mode.String())
 	root.SetAttr("seed", p.Seed)
+	root.SetAttr("cache", p.Optimize.Cache != nil)
 	defer func() {
 		res.Runtime = time.Since(start)
 		root.SetAttr("sims", res.Sims)
@@ -393,11 +394,11 @@ func conventionalChoices(t *pdk.Tech, bm *circuits.Benchmark, op *spice.OPResult
 			ps.End()
 			return nil, fmt.Errorf("flow: conventional %s: %w", in.Name, err)
 		}
-		best := lays[0]
-		for _, l := range lays[1:] {
-			if l.BBox.Area() < best.BBox.Area() {
-				best = l
-			}
+		best, err := mostCompact(lays)
+		if err != nil {
+			ps.End()
+			return nil, fmt.Errorf("flow: conventional %s (%s, %d fins): %w",
+				in.Name, in.Kind, in.Sizing.TotalFins, err)
 		}
 		ex, err := extract.Primitive(t, best)
 		if err != nil {
@@ -409,6 +410,22 @@ func conventionalChoices(t *pdk.Tech, bm *circuits.Benchmark, op *spice.OPResult
 		out[in.Name] = &chosen{inst: in, entry: entry, bias: in.Bias(op), ex: ex}
 	}
 	return out, nil
+}
+
+// mostCompact returns the smallest-area layout of a configuration
+// set, or a descriptive error when the generator yielded none (a
+// sizing the geometric constraints cannot realize).
+func mostCompact(lays []*cellgen.Layout) (*cellgen.Layout, error) {
+	if len(lays) == 0 {
+		return nil, fmt.Errorf("no legal layout configurations")
+	}
+	best := lays[0]
+	for _, l := range lays[1:] {
+		if l.BBox.Area() < best.BBox.Area() {
+			best = l
+		}
+	}
+	return best, nil
 }
 
 // optimizedChoices runs Algorithm 1 per primitive (concurrently) and

@@ -15,6 +15,12 @@
 //
 // The result is the small set of high-quality layout choices, with
 // different aspect ratios, handed to the placer (Fig. 1).
+//
+// All SPICE evaluations funnel through a single leaf (evalEnv.eval),
+// bounded by the Params.Workers semaphore and — when Params.Cache is
+// set — memoized in the shared evaluation cache, so repeated
+// configurations (the optimize.repeat_evals of a traced run) are
+// served as evcache hits instead of fresh extractions and deck runs.
 package optimize
 
 import (
@@ -25,6 +31,7 @@ import (
 
 	"primopt/internal/cellgen"
 	"primopt/internal/cost"
+	"primopt/internal/evcache"
 	"primopt/internal/extract"
 	"primopt/internal/numeric"
 	"primopt/internal/obs"
@@ -53,6 +60,11 @@ type Params struct {
 	// leans on the independence of the per-option simulations.
 	Workers int
 	Cons    *cellgen.Constraints
+	// Cache, when set, memoizes evaluations across this call and any
+	// other Optimize call sharing the same cache (all primitive
+	// instances of one flow, typically). Results are identical with
+	// and without it; only the amount of repeated SPICE work changes.
+	Cache *evcache.Cache
 	// Obs, when set, parents the optimize.select / optimize.tune
 	// spans; metrics fall back to obs.Default() when nil.
 	Obs *obs.Span
@@ -84,7 +96,8 @@ type Result struct {
 
 	// AllOptions holds every evaluated configuration from the
 	// selection step (the paper's Table III rows), sorted by bin then
-	// cost.
+	// cost. Tuning operates on deep copies, so these rows keep their
+	// selection-phase wire counts after Optimize returns.
 	AllOptions []Option
 
 	// Selected holds the tuned minimum-cost option per aspect-ratio
@@ -121,22 +134,47 @@ func Optimize(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bia
 	if tr == nil {
 		tr = obs.Default()
 	}
-	et := newEvalTracker(tr)
+	et := newEvalTracker(tr, p.Cache)
 
 	sel := obs.StartSpan(tr, p.Obs, "optimize.select")
-	// Line 3 precondition: schematic reference and cost metrics.
-	sch, err := e.Evaluate(t, sz, bias, nil, nil)
+	// Line 3 precondition: schematic reference and cost metrics. The
+	// reference deck depends only on (kind, sizing, bias), so with a
+	// shared cache identical instances of a circuit reuse it too.
+	schKey := evcache.Key(e.Kind, sz, bias, nil)
+	if p.Cache != nil {
+		et.record(schKey)
+	}
+	schCompute := func() (*evcache.Entry, error) {
+		ev, err := e.Evaluate(t, sz, bias, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &evcache.Entry{Eval: ev}, nil
+	}
+	var schEnt *evcache.Entry
+	var err error
+	if p.Cache != nil {
+		schEnt, err = p.Cache.Do(tr, schKey, schCompute)
+	} else {
+		schEnt, err = schCompute()
+	}
 	if err != nil {
 		sel.End()
 		return nil, fmt.Errorf("optimize: schematic reference: %w", err)
 	}
-	res.Schematic = sch
-	metrics, err := e.CostMetrics(t, sz, sch)
+	res.Schematic = schEnt.Eval
+	metrics, err := e.CostMetrics(t, sz, res.Schematic)
 	if err != nil {
 		sel.End()
 		return nil, err
 	}
 	res.Metrics = metrics
+
+	env := &evalEnv{
+		t: t, e: e, sz: sz, bias: bias, metrics: metrics,
+		et: et, cache: p.Cache, tr: tr,
+		sem: make(chan struct{}, p.Workers),
+	}
 
 	// Step 1 (lines 3–7): evaluate every layout option.
 	layouts, err := e.FindLayouts(t, sz, p.Cons)
@@ -147,14 +185,11 @@ func Optimize(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bia
 	opts := make([]Option, len(layouts))
 	errs := make([]error, len(layouts))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, p.Workers)
 	for i, lay := range layouts {
 		wg.Add(1)
 		go func(i int, lay *cellgen.Layout) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			opt, err := evaluateOption(t, e, sz, bias, metrics, lay, et)
+			opt, err := env.eval(lay)
 			if err != nil {
 				errs[i] = err
 				return
@@ -201,15 +236,28 @@ func Optimize(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bia
 	}
 	sel.End()
 
-	// Step 2 (lines 8–15): tuning each selected option.
+	// Step 2 (lines 8–15): tuning each selected option. The options
+	// are independent (distinct aspect-ratio bins), so they tune in
+	// parallel; each individual evaluation still respects the Workers
+	// bound through env.eval.
 	tune := obs.StartSpan(tr, p.Obs, "optimize.tune")
+	tuneSims := make([]int, len(selected))
+	tuneErrs := make([]error, len(selected))
+	var twg sync.WaitGroup
 	for i := range selected {
-		sims, err := tuneOption(t, e, sz, bias, metrics, &selected[i], p, et)
+		twg.Add(1)
+		go func(i int) {
+			defer twg.Done()
+			tuneSims[i], tuneErrs[i] = tuneOption(env, &selected[i], p)
+		}(i)
+	}
+	twg.Wait()
+	for i, err := range tuneErrs {
 		if err != nil {
 			tune.End()
 			return nil, fmt.Errorf("optimize: tuning %s: %w", selected[i].Layout.Config.ID(), err)
 		}
-		res.TuningSims += sims
+		res.TuningSims += tuneSims[i]
 	}
 	res.Selected = selected
 	if tr.Enabled() {
@@ -226,77 +274,125 @@ func Optimize(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bia
 	return res, nil
 }
 
-// evalTracker counts layout evaluations and flags repeats — the same
-// configuration (config ID + wire counts) simulated more than once —
-// which measures how much a result cache would save. Disabled traces
-// cost one nil check.
-type evalTracker struct {
-	tr   *obs.Trace
-	mu   sync.Mutex
-	seen map[string]bool
+// evalEnv bundles the invariant inputs of one Optimize call so every
+// evaluation site goes through the same leaf. The semaphore bounds
+// concurrent extract+SPICE work; it is acquired only inside eval's
+// compute step, never while waiting on the cache, so nested
+// parallelism (selection, per-option tuning, joint-sweep fan-out)
+// cannot deadlock.
+type evalEnv struct {
+	t       *pdk.Tech
+	e       *primlib.Entry
+	sz      primlib.Sizing
+	bias    primlib.Bias
+	metrics []cost.Metric
+	et      *evalTracker
+	cache   *evcache.Cache
+	tr      *obs.Trace
+	sem     chan struct{}
 }
 
-func newEvalTracker(tr *obs.Trace) *evalTracker {
+// eval extracts and simulates one layout configuration, through the
+// cache when one is installed. The compute path reads lay's current
+// wire state, which matches the key because each caller owns its
+// layout (selection layouts are per-goroutine, tuning works on
+// clones).
+func (env *evalEnv) eval(lay *cellgen.Layout) (*Option, error) {
+	key := evcache.Key(env.e.Kind, env.sz, env.bias, lay)
+	env.et.record(key)
+	compute := func() (*evcache.Entry, error) {
+		env.sem <- struct{}{}
+		defer func() { <-env.sem }()
+		ex, err := extract.Primitive(env.t, lay)
+		if err != nil {
+			return nil, err
+		}
+		ev, err := env.e.Evaluate(env.t, env.sz, env.bias, ex, nil)
+		if err != nil {
+			return nil, fmt.Errorf("config %s: %w", lay.Config.ID(), err)
+		}
+		c, vals, err := primlib.Cost(env.metrics, ev)
+		if err != nil {
+			return nil, err
+		}
+		return &evcache.Entry{Layout: lay, Ex: ex, Eval: ev, Cost: c, Values: vals}, nil
+	}
+	var ent *evcache.Entry
+	var err error
+	if env.cache != nil {
+		ent, err = env.cache.Do(env.tr, key, compute)
+	} else {
+		ent, err = compute()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Option{Layout: ent.Layout, Ex: ent.Ex, Eval: ent.Eval, Cost: ent.Cost, Values: ent.Values}, nil
+}
+
+// evalTracker counts evaluation requests and flags repeats — the same
+// snapshot requested more than once. Without a cache the repeats are
+// wasted SPICE work (PR 2's measurement); with one, the dedup scope
+// follows the cache's sharing scope so that, by construction,
+// optimize.repeat_evals == evcache.hits on a traced run. Disabled
+// traces cost one nil check.
+type evalTracker struct {
+	tr    *obs.Trace
+	cache *evcache.Cache
+	mu    sync.Mutex
+	seen  map[string]bool
+}
+
+func newEvalTracker(tr *obs.Trace, cache *evcache.Cache) *evalTracker {
 	if !tr.Enabled() {
 		return nil
 	}
-	return &evalTracker{tr: tr, seen: make(map[string]bool)}
+	return &evalTracker{tr: tr, cache: cache, seen: make(map[string]bool)}
 }
 
-func (et *evalTracker) record(lay *cellgen.Layout) {
+func (et *evalTracker) record(key string) {
 	if et == nil {
 		return
 	}
-	names := make([]string, 0, len(lay.Wires))
-	for w := range lay.Wires {
-		names = append(names, w)
+	var dup bool
+	if et.cache != nil {
+		dup = et.cache.MarkRequested(key)
+	} else {
+		et.mu.Lock()
+		dup = et.seen[key]
+		et.seen[key] = true
+		et.mu.Unlock()
 	}
-	sort.Strings(names)
-	key := lay.Config.ID()
-	for _, w := range names {
-		key += fmt.Sprintf("|%s=%d", w, lay.Wires[w].NWires)
-	}
-	et.mu.Lock()
-	dup := et.seen[key]
-	et.seen[key] = true
-	et.mu.Unlock()
 	et.tr.Counter("optimize.evals").Inc()
 	if dup {
 		et.tr.Counter("optimize.repeat_evals").Inc()
 	}
 }
 
-// evaluateOption extracts and simulates one layout configuration.
-func evaluateOption(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bias,
-	metrics []cost.Metric, lay *cellgen.Layout, et *evalTracker) (*Option, error) {
-	et.record(lay)
-	ex, err := extract.Primitive(t, lay)
-	if err != nil {
-		return nil, err
-	}
-	ev, err := e.Evaluate(t, sz, bias, ex, nil)
-	if err != nil {
-		return nil, fmt.Errorf("config %s: %w", lay.Config.ID(), err)
-	}
-	c, vals, err := primlib.Cost(metrics, ev)
-	if err != nil {
-		return nil, err
-	}
-	return &Option{Layout: lay, Ex: ex, Eval: ev, Cost: c, Values: vals}, nil
-}
-
-// assignBins splits options into equal-width bins of log aspect ratio.
+// assignBins splits options into equal-width bins of log aspect
+// ratio. Degenerate aspect ratios (zero, negative, NaN, Inf) have no
+// usable log: those options land in bin 0 and are excluded from the
+// bin-range computation, so one malformed layout cannot poison the
+// binning of the rest (and no NaN ever reaches a float→int
+// conversion, whose result Go leaves unspecified).
 func assignBins(opts []Option, bins int) {
 	if len(opts) == 0 {
 		return
 	}
+	logAR := make([]float64, len(opts))
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for i := range opts {
-		ar := math.Log(opts[i].Layout.AspectRatio)
-		lo = math.Min(lo, ar)
-		hi = math.Max(hi, ar)
+		ar := opts[i].Layout.AspectRatio
+		if ar <= 0 || math.IsNaN(ar) || math.IsInf(ar, 0) {
+			logAR[i] = math.NaN()
+			continue
+		}
+		l := math.Log(ar)
+		logAR[i] = l
+		lo = math.Min(lo, l)
+		hi = math.Max(hi, l)
 	}
-	if hi <= lo {
+	if hi <= lo { // zero or one usable ratio
 		for i := range opts {
 			opts[i].Bin = 0
 		}
@@ -304,7 +400,11 @@ func assignBins(opts []Option, bins int) {
 	}
 	w := (hi - lo) / float64(bins)
 	for i := range opts {
-		b := int((math.Log(opts[i].Layout.AspectRatio) - lo) / w)
+		if math.IsNaN(logAR[i]) {
+			opts[i].Bin = 0
+			continue
+		}
+		b := int((logAR[i] - lo) / w)
 		if b >= bins {
 			b = bins - 1
 		}
@@ -315,25 +415,28 @@ func assignBins(opts []Option, bins int) {
 	}
 }
 
-// tuneOption runs the tuning step on one selected option, mutating
-// its layout's wire counts and re-evaluating. Returns the number of
-// simulations spent.
-func tuneOption(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bias,
-	metrics []cost.Metric, opt *Option, p Params, et *evalTracker) (int, error) {
+// tuneOption runs the tuning step on one selected option. It works on
+// a deep copy of the option's layout: the selection-phase row in
+// Result.AllOptions shares the original pointer, and the paper's
+// Table III data must survive tuning unchanged. On success the option
+// is replaced by its tuned re-evaluation; on error it is left as
+// selected. Returns the number of simulations spent.
+func tuneOption(env *evalEnv, opt *Option, p Params) (int, error) {
+	work := opt.Layout.Clone()
 	sims := 0
-	groups := correlationGroups(e.Tuning)
+	groups := correlationGroups(env.e.Tuning)
 	for _, group := range groups {
 		if len(group) == 1 {
 			// Lines 9–10: uncorrelated — optimize separately.
-			n, s, err := sweepTerminal(t, e, sz, bias, metrics, opt.Layout, group[0], p.MaxWires, et)
+			n, s, err := sweepTerminal(env, work, group[0], p.MaxWires)
 			sims += s
 			if err != nil {
 				return sims, err
 			}
-			setWires(opt.Layout, group[0], n)
+			setWires(work, group[0], n)
 		} else {
 			// Lines 11–12: correlated — enumerate combinations.
-			s, err := sweepJoint(t, e, sz, bias, metrics, opt.Layout, group, p.MaxJointWires, et)
+			s, err := sweepJoint(env, work, group, p.MaxJointWires)
 			sims += s
 			if err != nil {
 				return sims, err
@@ -341,7 +444,7 @@ func tuneOption(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.B
 		}
 	}
 	// Re-evaluate the tuned configuration.
-	tuned, err := evaluateOption(t, e, sz, bias, metrics, opt.Layout, et)
+	tuned, err := env.eval(work)
 	if err != nil {
 		return sims, err
 	}
@@ -394,9 +497,11 @@ func setWires(lay *cellgen.Layout, term primlib.TuningTerm, n int) {
 
 // sweepTerminal sweeps one terminal's wire count and returns the
 // chosen count per the paper's stopping rule (cost minimum, or max
-// curvature for monotone curves).
-func sweepTerminal(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bias,
-	metrics []cost.Metric, lay *cellgen.Layout, term primlib.TuningTerm, maxW int, et *evalTracker) (int, int, error) {
+// curvature for monotone curves). The sweep is sequential by nature —
+// the early exit depends on the previous costs — but each evaluation
+// is a cache-visible leaf, so re-tuning a shared configuration is all
+// hits. The layout's wire counts are restored on every path.
+func sweepTerminal(env *evalEnv, lay *cellgen.Layout, term primlib.TuningTerm, maxW int) (int, int, error) {
 	costs := make([]float64, 0, maxW)
 	sims := 0
 	orig := map[string]int{}
@@ -413,7 +518,7 @@ func sweepTerminal(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primli
 	rising := 0
 	for n := 1; n <= maxW; n++ {
 		setWires(lay, term, n)
-		opt, err := evaluateOption(t, e, sz, bias, metrics, lay, et)
+		opt, err := env.eval(lay)
 		if err != nil {
 			return 1, sims, err
 		}
@@ -433,51 +538,71 @@ func sweepTerminal(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primli
 }
 
 // sweepJoint enumerates wire-count combinations for a correlated
-// group and applies the best, leaving the layout at the optimum.
-func sweepJoint(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bias,
-	metrics []cost.Metric, lay *cellgen.Layout, group []primlib.TuningTerm, maxW int, et *evalTracker) (int, error) {
+// group in parallel — each combination on its own deep copy — and
+// applies the best (ties broken by enumeration order, keeping the
+// result order-independent). The input layout is only written on
+// success, so an evaluation error can no longer leave it at an
+// arbitrary mid-enumeration assignment.
+func sweepJoint(env *evalEnv, lay *cellgen.Layout, group []primlib.TuningTerm, maxW int) (int, error) {
 	if len(group) > 2 {
 		// The paper notes more than two correlated terminals is rare;
-		// bound the enumeration by pairing the first two.
+		// bound the enumeration by pairing the first two. Count the
+		// truncation so a traced run shows the dropped terminals.
+		env.tr.Counter("optimize.joint_group_truncated").Inc()
 		group = group[:2]
 	}
-	sims := 0
-	bestCost := math.Inf(1)
-	bestN := make([]int, len(group))
-	for i := range bestN {
-		bestN[i] = 1
-	}
+	var combos [][]int
 	idx := make([]int, len(group))
-	var rec func(k int) error
-	rec = func(k int) error {
+	var enumerate func(k int)
+	enumerate = func(k int) {
 		if k == len(group) {
-			for gi, tt := range group {
-				setWires(lay, tt, idx[gi])
-			}
-			opt, err := evaluateOption(t, e, sz, bias, metrics, lay, et)
-			if err != nil {
-				return err
-			}
-			sims += opt.Eval.Sims
-			if opt.Cost < bestCost {
-				bestCost = opt.Cost
-				copy(bestN, idx)
-			}
-			return nil
+			combos = append(combos, append([]int(nil), idx...))
+			return
 		}
 		for n := 1; n <= maxW; n++ {
 			idx[k] = n
-			if err := rec(k + 1); err != nil {
-				return err
-			}
+			enumerate(k + 1)
 		}
-		return nil
 	}
-	if err := rec(0); err != nil {
-		return sims, err
+	enumerate(0)
+
+	costs := make([]float64, len(combos))
+	comboSims := make([]int, len(combos))
+	errs := make([]error, len(combos))
+	var wg sync.WaitGroup
+	for ci, combo := range combos {
+		wg.Add(1)
+		go func(ci int, combo []int) {
+			defer wg.Done()
+			work := lay.Clone()
+			for gi, tt := range group {
+				setWires(work, tt, combo[gi])
+			}
+			opt, err := env.eval(work)
+			if err != nil {
+				errs[ci] = err
+				return
+			}
+			comboSims[ci] = opt.Eval.Sims
+			costs[ci] = opt.Cost
+		}(ci, combo)
+	}
+	wg.Wait()
+	sims := 0
+	for ci := range combos {
+		if errs[ci] != nil {
+			return sims, errs[ci]
+		}
+		sims += comboSims[ci]
+	}
+	best := 0
+	for ci := 1; ci < len(combos); ci++ {
+		if costs[ci] < costs[best] {
+			best = ci
+		}
 	}
 	for gi, tt := range group {
-		setWires(lay, tt, bestN[gi])
+		setWires(lay, tt, combos[best][gi])
 	}
 	return sims, nil
 }

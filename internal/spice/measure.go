@@ -2,8 +2,10 @@ package spice
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math"
 	"strings"
+	"sync"
 
 	"primopt/internal/obs"
 	"primopt/internal/pdk"
@@ -481,10 +483,41 @@ func RunDeck(e *Engine, deck *Deck) (*Results, error) {
 	return res, nil
 }
 
+// deckDedup tracks the deck-source hashes seen under the current
+// default trace, feeding the spice.duplicate_decks counter — the
+// ground-truth check that the evaluation cache really eliminated
+// repeated simulations. The set resets whenever a new default trace
+// is installed, so each traced run is scored independently and the
+// map cannot grow across runs.
+var deckDedup struct {
+	mu   sync.Mutex
+	tr   *obs.Trace
+	seen map[uint64]bool
+}
+
+func recordDeck(tr *obs.Trace, src string) {
+	h := fnv.New64a()
+	h.Write([]byte(src))
+	sum := h.Sum64()
+	deckDedup.mu.Lock()
+	defer deckDedup.mu.Unlock()
+	if deckDedup.tr != tr {
+		deckDedup.tr = tr
+		deckDedup.seen = make(map[uint64]bool)
+	}
+	if deckDedup.seen[sum] {
+		tr.Counter("spice.duplicate_decks").Inc()
+	}
+	deckDedup.seen[sum] = true
+}
+
 // RunSource parses deck text and executes it in one call — the
 // workhorse for primitive testbenches.
 func RunSource(t *pdk.Tech, src string) (*Results, *Deck, error) {
-	obs.Default().Counter("spice.decks").Inc()
+	if tr := obs.Default(); tr.Enabled() {
+		tr.Counter("spice.decks").Inc()
+		recordDeck(tr, src)
+	}
 	deck, err := ParseDeck(src)
 	if err != nil {
 		return nil, nil, err
