@@ -49,6 +49,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "placement seed")
 	cache := flag.Bool("cache", true, "memoize primitive evaluations across a run (identical results, fewer SPICE decks)")
 	workers := flag.Int("workers", 0, "max concurrent SPICE evaluations per primitive (0 = default 8)")
+	placeReplicas := flag.Int("place-replicas", 1, "independently seeded annealing replicas in the placer (deterministic reduction; results depend only on seed and replica count)")
 	svgPath := flag.String("svg", "", "write the optimized floorplan + routes as SVG to this file")
 	consPath := flag.String("constraints", "", "write the detailed-router constraints of the optimized run to this file")
 	mcRun := flag.Bool("mc", false, "run the Monte Carlo offset comparison across DP patterns")
@@ -75,7 +76,7 @@ func main() {
 	case *table != "":
 		runErr = runTables(tech, *table, *stages)
 	case *circuitName != "":
-		runErr = runCircuit(tech, *circuitName, *mode, *stages, *seed, *cache, *workers)
+		runErr = runCircuit(tech, *circuitName, *mode, *stages, *seed, *cache, *workers, *placeReplicas)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -112,7 +113,7 @@ func buildCircuit(tech *pdk.Tech, name string, stages int) (*circuits.Benchmark,
 	}
 }
 
-func runCircuit(tech *pdk.Tech, name, modeName string, stages int, seed int64, cache bool, workers int) error {
+func runCircuit(tech *pdk.Tech, name, modeName string, stages int, seed int64, cache bool, workers, placeReplicas int) error {
 	bm, err := buildCircuit(tech, name, stages)
 	if err != nil {
 		return err
@@ -140,6 +141,7 @@ func runCircuit(tech *pdk.Tech, name, modeName string, stages int, seed int64, c
 	for _, m := range order {
 		p := flow.Params{Seed: seed}
 		p.Optimize.Workers = workers
+		p.Place.Replicas = placeReplicas
 		// A fresh cache per run keeps the per-mode timings honest (no
 		// mode warms another mode's entries); within the run, every
 		// primitive instance of the circuit shares it.

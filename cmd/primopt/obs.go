@@ -140,18 +140,25 @@ func liveStageLine(s *obs.Span) {
 
 // benchRun is the per-flow.run entry of the bench JSON.
 type benchRun struct {
-	Circuit string             `json:"circuit"`
-	Mode    string             `json:"mode"`
-	Cache   bool               `json:"cache"`
-	TotalMS float64            `json:"total_ms"`
-	Sims    float64            `json:"sims,omitempty"`
-	Stages  map[string]float64 `json:"stages_ms"`
+	Circuit string `json:"circuit"`
+	Mode    string `json:"mode"`
+	Cache   bool   `json:"cache"`
+	// Replicas is the placer's annealing-replica count (0 for runs
+	// predating the replica engine or without a placement stage);
+	// PlaceBestCost is the winning replica's annealing cost, so a
+	// replicas>1 entry can be compared against the single-chain one
+	// at equal-or-better quality, not just on wall time.
+	Replicas      int                `json:"place_replicas,omitempty"`
+	PlaceBestCost float64            `json:"place_best_cost,omitempty"`
+	TotalMS       float64            `json:"total_ms"`
+	Sims          float64            `json:"sims,omitempty"`
+	Stages        map[string]float64 `json:"stages_ms"`
 }
 
 // key identifies the run configuration a bench entry measures; a new
 // measurement of the same configuration replaces the old one.
 func (b benchRun) key() string {
-	return fmt.Sprintf("%s|%s|%t", b.Circuit, b.Mode, b.Cache)
+	return fmt.Sprintf("%s|%s|%t|r%d", b.Circuit, b.Mode, b.Cache, b.Replicas)
 }
 
 // writeBench distills the trace's flow.run spans into a small JSON
@@ -193,6 +200,23 @@ func writeBench(tr *obs.Trace, path string) error {
 		}
 		for _, c := range d.Children(root.ID) {
 			br.Stages[c.Name] += float64(c.DurUS) / 1e3
+			if c.Name != "flow.place" {
+				continue
+			}
+			// Pull the replica count and winning cost off the nested
+			// place.anneal span so the bench file carries the
+			// placement-quality axis next to the wall-clock one.
+			for _, a := range d.Children(c.ID) {
+				if a.Name != "place.anneal" {
+					continue
+				}
+				if v, ok := a.Attrs["replicas"].(float64); ok {
+					br.Replicas = int(v)
+				}
+				if v, ok := a.Attrs["best_cost"].(float64); ok {
+					br.PlaceBestCost = v
+				}
+			}
 		}
 		replaced := false
 		for i := range runs {
@@ -213,7 +237,10 @@ func writeBench(tr *obs.Trace, path string) error {
 		if runs[i].Mode != runs[j].Mode {
 			return runs[i].Mode < runs[j].Mode
 		}
-		return !runs[i].Cache && runs[j].Cache
+		if runs[i].Cache != runs[j].Cache {
+			return !runs[i].Cache
+		}
+		return runs[i].Replicas < runs[j].Replicas
 	})
 	out, err := json.MarshalIndent(map[string]any{"runs": runs}, "", "  ")
 	if err != nil {
@@ -333,6 +360,41 @@ func runCheckTrace(args []string) int {
 		if hits != repeats {
 			problems = append(problems, fmt.Sprintf(
 				"evcache.hits (%.0f) != optimize.repeat_evals (%.0f): cached run still repeated evaluations", hits, repeats))
+		}
+	}
+
+	// Replica accounting: every placement run must declare its replica
+	// count, the place.replicas counter must equal the sum of those
+	// declarations, and each replica span must report the best cost it
+	// entered into the reduction.
+	anneals := d.SpansNamed("place.anneal")
+	var wantReplicas float64
+	for _, s := range anneals {
+		v, ok := s.Attrs["replicas"].(float64)
+		if !ok {
+			problems = append(problems, fmt.Sprintf("place.anneal span (id %d) missing replicas attr", s.ID))
+			continue
+		}
+		wantReplicas += v
+	}
+	if len(anneals) > 0 {
+		var got float64
+		if m := d.Metric("place.replicas"); m != nil {
+			got = m.Value
+		}
+		if got != wantReplicas {
+			problems = append(problems, fmt.Sprintf(
+				"place.replicas (%.0f) != configured replica count (%.0f) summed over place.anneal spans", got, wantReplicas))
+		}
+		reps := d.SpansNamed("place.replica")
+		if float64(len(reps)) != wantReplicas {
+			problems = append(problems, fmt.Sprintf(
+				"place.replica spans (%d) != configured replica count (%.0f)", len(reps), wantReplicas))
+		}
+		for _, s := range reps {
+			if _, ok := s.Attrs["best_cost"]; !ok {
+				problems = append(problems, fmt.Sprintf("place.replica span (id %d) missing best_cost attr", s.ID))
+			}
 		}
 	}
 

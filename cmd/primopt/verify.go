@@ -22,6 +22,7 @@ func runVerifyCmd(args []string) int {
 	format := fs.String("format", "text", "output format: text or json")
 	stages := fs.Int("stages", 8, "RO-VCO stage count")
 	seed := fs.Int64("seed", 1, "placement seed")
+	placeReplicas := fs.Int("place-replicas", 1, "independently seeded annealing replicas in the placer")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: primopt verify -circuit <name> [-mode m] [-format text|json]")
 		fs.PrintDefaults()
@@ -69,6 +70,7 @@ func runVerifyCmd(args []string) int {
 	status := 0
 	for _, m := range order {
 		p := flow.Params{Seed: *seed}
+		p.Place.Replicas = *placeReplicas
 		if m == flow.Optimized || m == flow.Manual {
 			p.Optimize.Cache = evcache.New()
 		}

@@ -558,7 +558,16 @@ func runPlacement(bm *circuits.Benchmark, choices map[string]*chosen, res *Resul
 			sym = append(sym, place.SymPair{A: sw, B: name})
 		}
 	}
-	pl, err := place.Place(blocks, nets, sym, place.Params{Seed: p.Seed, Obs: sp})
+	// Thread the flow's placement knobs through: the run seed, the
+	// stage span, and — so one flag governs every pool — the SPICE
+	// worker bound for the replica pool unless overridden.
+	pp := p.Place
+	pp.Seed = p.Seed
+	pp.Obs = sp
+	if pp.Workers == 0 {
+		pp.Workers = p.Optimize.Workers
+	}
+	pl, err := place.Place(blocks, nets, sym, pp)
 	if err != nil {
 		return nil, fmt.Errorf("flow: placement: %w", err)
 	}

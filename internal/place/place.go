@@ -9,12 +9,20 @@
 // must share a horizontal axis, mirrored about a common vertical
 // axis) are honored through a penalty term that the schedule drives
 // to zero.
+//
+// The engine is multi-start: K independently seeded replicas anneal
+// concurrently under a bounded worker pool, each with an incremental
+// cost evaluator (see eval.go), and a deterministic min-cost /
+// lowest-replica-index reduction picks the winner. For a given seed
+// the output is byte-identical regardless of worker count.
 package place
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"primopt/internal/geom"
 	"primopt/internal/obs"
@@ -52,11 +60,21 @@ type SymPair struct {
 // Params tunes the annealer.
 type Params struct {
 	Seed        int64
-	Iterations  int     // moves per temperature (default 200)
+	Iterations  int     // total moves per temperature band, across replicas (default 200)
 	CoolingRate float64 // default 0.93
 	StartTemp   float64 // default auto
 	WireWeight  float64 // HPWL weight vs area (default 1.0)
 	SymWeight   float64 // symmetry-violation weight (default 4.0)
+	// Replicas is the number of independently seeded annealing chains
+	// (default 1). Each replica's seed is derived deterministically
+	// from Seed, the per-band move budget is split across replicas,
+	// and the best result (ties: lowest replica index) wins, so the
+	// output depends only on (Seed, Replicas) — never on scheduling.
+	Replicas int
+	// Workers bounds how many replicas anneal concurrently (default
+	// GOMAXPROCS). The flow threads its SPICE worker knob through
+	// here so one flag governs all pools.
+	Workers int
 	// Obs, when set, parents the place.anneal span (and receives the
 	// schedule attributes); metrics fall back to obs.Default() when
 	// nil. Tracing is passive: it never touches the RNG stream.
@@ -76,7 +94,48 @@ func (p Params) withDefaults() Params {
 	if p.SymWeight <= 0 {
 		p.SymWeight = 4.0
 	}
+	if p.Replicas <= 0 {
+		p.Replicas = 1
+	}
+	if p.Workers <= 0 {
+		p.Workers = runtime.GOMAXPROCS(0)
+	}
 	return p
+}
+
+// replicaIterations splits the per-band move budget across replicas.
+// The split is sublinear (80% of the even share): K independent
+// restarts escape local minima more cheaply than one long chain's
+// extra equilibration, so best-of-K quality holds at a smaller
+// aggregate budget — which is also what makes replicas reduce wall
+// time even on a single core. A floor keeps deep splits long enough
+// to equilibrate each band.
+func (p Params) replicaIterations() int {
+	if p.Replicas == 1 {
+		return p.Iterations
+	}
+	it := p.Iterations * 4 / (5 * p.Replicas)
+	if it < 32 {
+		it = 32
+	}
+	if it > p.Iterations {
+		it = p.Iterations
+	}
+	return it
+}
+
+// replicaSeed derives replica r's RNG seed from the base seed.
+// Replica 0 keeps the base seed (a single-replica run is the classic
+// single-chain annealer); higher replicas get splitmix64-style mixed
+// seeds so chains decorrelate even for adjacent base seeds.
+func replicaSeed(seed int64, r int) int64 {
+	if r == 0 {
+		return seed
+	}
+	z := uint64(seed) + uint64(r)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
 }
 
 // Placement is the placer output.
@@ -88,24 +147,13 @@ type Placement struct {
 	SymErr  float64 // residual symmetry violation, nm
 }
 
-// state is the annealer's internal representation.
-type state struct {
-	blocks []Block
-	nets   []Net
-	sym    []SymPair
-	gammaP []int // sequence pair Γ+
-	gammaM []int // sequence pair Γ-
-	varIx  []int
-	index  map[string]int
-}
-
 // Place runs the annealer and returns the best placement found.
 func Place(blocks []Block, nets []Net, sym []SymPair, p Params) (*Placement, error) {
 	if len(blocks) == 0 {
 		return nil, fmt.Errorf("place: no blocks")
 	}
 	p = p.withDefaults()
-	st := &state{blocks: blocks, nets: nets, sym: sym, index: map[string]int{}}
+	st := newState(blocks, nets, sym)
 	for i, b := range blocks {
 		if len(b.Variants) == 0 {
 			return nil, fmt.Errorf("place: block %s has no variants", b.Name)
@@ -114,9 +162,6 @@ func Place(blocks []Block, nets []Net, sym []SymPair, p Params) (*Placement, err
 			return nil, fmt.Errorf("place: duplicate block %s", b.Name)
 		}
 		st.index[b.Name] = i
-		st.gammaP = append(st.gammaP, i)
-		st.gammaM = append(st.gammaM, i)
-		st.varIx = append(st.varIx, 0)
 	}
 	for _, n := range nets {
 		for _, bn := range n.Blocks {
@@ -133,6 +178,7 @@ func Place(blocks []Block, nets []Net, sym []SymPair, p Params) (*Placement, err
 			return nil, fmt.Errorf("place: symmetry pair references unknown block %s", sp.B)
 		}
 	}
+	st.buildTopology()
 
 	tr := p.Obs.Trace()
 	if tr == nil {
@@ -141,10 +187,67 @@ func Place(blocks []Block, nets []Net, sym []SymPair, p Params) (*Placement, err
 	sp := obs.StartSpan(tr, p.Obs, "place.anneal")
 	sp.SetAttr("blocks", len(blocks))
 	sp.SetAttr("nets", len(nets))
-	sp.SetAttr("iters_per_band", p.Iterations)
+	sp.SetAttr("replicas", p.Replicas)
+	sp.SetAttr("workers", p.Workers)
+	sp.SetAttr("iters_per_band", p.replicaIterations())
 
-	rng := rand.New(rand.NewSource(p.Seed))
-	cur := st.evaluate(p)
+	// Fan the replicas out under the worker pool. Every replica is
+	// fully deterministic given its derived seed, and the reduction
+	// below is order-free, so worker count never changes the result.
+	results := make([]replicaResult, p.Replicas)
+	sem := make(chan struct{}, p.Workers)
+	var wg sync.WaitGroup
+	for r := 0; r < p.Replicas; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[r] = runReplica(st, r, p, tr, sp)
+		}(r)
+	}
+	wg.Wait()
+	tr.Counter("place.replicas").Add(int64(p.Replicas))
+	tr.Counter("place.anneal.runs").Inc()
+
+	// Deterministic reduction: minimum best cost, ties to the lowest
+	// replica index (strict < keeps the earlier winner).
+	winner := 0
+	for r := 1; r < p.Replicas; r++ {
+		if results[r].best < results[winner].best {
+			winner = r
+		}
+	}
+	win := results[winner]
+	tr.Gauge("place.anneal.best_cost").Set(win.best)
+	sp.SetAttr("best_replica", winner)
+	sp.SetAttr("best_cost", win.best)
+	sp.SetAttr("bands", win.bands)
+	sp.End()
+
+	st.restore(win.snap)
+	return st.placement(), nil
+}
+
+// replicaResult is one chain's outcome entering the reduction.
+type replicaResult struct {
+	best  float64
+	snap  snapshot
+	bands int
+}
+
+// runReplica anneals one independently seeded chain on a private
+// clone of the shared topology.
+func runReplica(template *state, r int, p Params, tr *obs.Trace, parent *obs.Span) replicaResult {
+	seed := replicaSeed(p.Seed, r)
+	rng := rand.New(rand.NewSource(seed))
+	st := template.clone()
+
+	rsp := obs.StartSpan(tr, parent, "place.replica")
+	rsp.SetAttr("replica", r)
+	rsp.SetAttr("seed", seed)
+
+	cur := st.evaluateFull(p)
 	best := cur
 	bestSnap := st.snapshot()
 
@@ -155,18 +258,32 @@ func Place(blocks []Block, nets []Net, sym []SymPair, p Params) (*Placement, err
 			temp = 1
 		}
 	}
-	sp.SetAttr("start_temp", temp)
+	rsp.SetAttr("start_temp", temp)
 	// Schedule traces, recorded per temperature band only when
 	// tracing is on (the annealer itself never reads them).
 	enabled := tr.Enabled()
 	var temps, accRates, bestTrace []float64
 	var totalMoves, totalAccepted int64
-	n := len(blocks)
-	for ; temp > cur.cost*1e-4+1e-9; temp *= p.CoolingRate {
+	n := len(st.blocks)
+	iters := p.replicaIterations()
+	bands := 0
+	// The schedule anchors to the monotone best cost — not the
+	// fluctuating current cost, which let an accepted uphill move
+	// lengthen the schedule and a lucky downhill excursion truncate
+	// it.
+	for ; temp > best.cost*1e-4+1e-9; temp *= p.CoolingRate {
 		accepted := 0
-		for it := 0; it < p.Iterations; it++ {
-			undo := st.randomMove(rng, n)
-			next := st.evaluate(p)
+		for it := 0; it < iters; it++ {
+			undo, changed := st.randomMove(rng, n)
+			next := cur
+			if changed {
+				next = st.evaluateIncremental(p)
+				if debugCheckIncremental {
+					if full := st.evaluateFull(p); full.cost != next.cost {
+						panic(fmt.Sprintf("place: incremental cost %v != full cost %v", next.cost, full.cost))
+					}
+				}
+			}
 			d := next.cost - cur.cost
 			if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
 				cur = next
@@ -177,14 +294,18 @@ func Place(blocks []Block, nets []Net, sym []SymPair, p Params) (*Placement, err
 				}
 			} else {
 				undo()
+				if changed {
+					st.undoEval()
+				}
 			}
 		}
+		bands++
 		if enabled {
-			rate := float64(accepted) / float64(p.Iterations)
+			rate := float64(accepted) / float64(iters)
 			temps = append(temps, temp)
 			accRates = append(accRates, rate)
 			bestTrace = append(bestTrace, best.cost)
-			totalMoves += int64(p.Iterations)
+			totalMoves += int64(iters)
 			totalAccepted += int64(accepted)
 			tr.Histogram("place.anneal.acceptance_rate").Observe(rate)
 		}
@@ -192,21 +313,23 @@ func Place(blocks []Block, nets []Net, sym []SymPair, p Params) (*Placement, err
 			break
 		}
 	}
+	rsp.SetAttr("bands", bands)
+	rsp.SetAttr("best_cost", best.cost)
 	if enabled {
-		tr.Counter("place.anneal.runs").Inc()
 		tr.Counter("place.anneal.moves").Add(totalMoves)
 		tr.Counter("place.anneal.accepted").Add(totalAccepted)
-		tr.Gauge("place.anneal.best_cost").Set(best.cost)
-		sp.SetAttr("bands", len(temps))
-		sp.SetAttr("best_cost", best.cost)
-		sp.SetAttr("temp_trace", obs.Downsample(temps, 64))
-		sp.SetAttr("accept_trace", obs.Downsample(accRates, 64))
-		sp.SetAttr("best_trace", obs.Downsample(bestTrace, 64))
+		rsp.SetAttr("temp_trace", obs.Downsample(temps, 64))
+		rsp.SetAttr("accept_trace", obs.Downsample(accRates, 64))
+		rsp.SetAttr("best_trace", obs.Downsample(bestTrace, 64))
 	}
-	sp.End()
-	st.restore(bestSnap)
-	return st.placement(p), nil
+	rsp.End()
+	return replicaResult{best: best.cost, snap: bestSnap, bands: bands}
 }
+
+// debugCheckIncremental, when set (tests only), re-evaluates every
+// move with the full evaluator and panics on any divergence from the
+// incremental result — the delta-eval == full-eval invariant.
+var debugCheckIncremental bool
 
 type evalResult struct {
 	cost float64
@@ -230,8 +353,10 @@ func (st *state) restore(s snapshot) {
 	copy(st.varIx, s.varIx)
 }
 
-// randomMove perturbs the state and returns an undo closure.
-func (st *state) randomMove(rng *rand.Rand, n int) func() {
+// randomMove perturbs the state, returning an undo closure and
+// whether the move can change the layout at all (an i==j swap or a
+// same-index variant pick is a no-op the evaluator skips).
+func (st *state) randomMove(rng *rand.Rand, n int) (func(), bool) {
 	kind := rng.Intn(4)
 	if n == 1 {
 		kind = 3
@@ -240,11 +365,11 @@ func (st *state) randomMove(rng *rand.Rand, n int) func() {
 	case 0: // swap two blocks in Γ+
 		i, j := rng.Intn(n), rng.Intn(n)
 		st.gammaP[i], st.gammaP[j] = st.gammaP[j], st.gammaP[i]
-		return func() { st.gammaP[i], st.gammaP[j] = st.gammaP[j], st.gammaP[i] }
+		return func() { st.gammaP[i], st.gammaP[j] = st.gammaP[j], st.gammaP[i] }, i != j
 	case 1: // swap two blocks in Γ-
 		i, j := rng.Intn(n), rng.Intn(n)
 		st.gammaM[i], st.gammaM[j] = st.gammaM[j], st.gammaM[i]
-		return func() { st.gammaM[i], st.gammaM[j] = st.gammaM[j], st.gammaM[i] }
+		return func() { st.gammaM[i], st.gammaM[j] = st.gammaM[j], st.gammaM[i] }, i != j
 	case 2: // swap in both (relocation)
 		i, j := rng.Intn(n), rng.Intn(n)
 		st.gammaP[i], st.gammaP[j] = st.gammaP[j], st.gammaP[i]
@@ -253,13 +378,27 @@ func (st *state) randomMove(rng *rand.Rand, n int) func() {
 		return func() {
 			st.gammaM[k], st.gammaM[l] = st.gammaM[l], st.gammaM[k]
 			st.gammaP[i], st.gammaP[j] = st.gammaP[j], st.gammaP[i]
-		}
+		}, i != j
 	default: // change a block's variant
 		b := rng.Intn(n)
 		old := st.varIx[b]
-		nv := len(st.blocks[b].Variants)
-		st.varIx[b] = rng.Intn(nv)
-		return func() { st.varIx[b] = old }
+		if q := st.partner[b]; q >= 0 {
+			// Symmetry-pair members must anneal variants in lockstep:
+			// matched primitives with different aspect-ratio layouts
+			// are not matched at all. Draw from the indices both
+			// halves support and move (and undo) the pair together.
+			nv := len(st.blocks[b].Variants)
+			if nq := len(st.blocks[q].Variants); nq < nv {
+				nv = nq
+			}
+			oldQ := st.varIx[q]
+			ni := rng.Intn(nv)
+			st.varIx[b], st.varIx[q] = ni, ni
+			return func() { st.varIx[b], st.varIx[q] = old, oldQ }, ni != old || ni != oldQ
+		}
+		ni := rng.Intn(len(st.blocks[b].Variants))
+		st.varIx[b] = ni
+		return func() { st.varIx[b] = old }, ni != old
 	}
 }
 
@@ -272,115 +411,10 @@ func (st *state) findM(block int) int {
 	return -1
 }
 
-// coordinates computes block positions from the sequence pair via
-// longest-path accumulation.
-func (st *state) coordinates() []geom.Rect {
-	n := len(st.blocks)
-	posP := make([]int, n) // position of block in Γ+
-	posM := make([]int, n)
-	for i, b := range st.gammaP {
-		posP[b] = i
-	}
-	for i, b := range st.gammaM {
-		posM[b] = i
-	}
-	w := make([]int64, n)
-	h := make([]int64, n)
-	for i := range st.blocks {
-		v := st.blocks[i].Variants[st.varIx[i]]
-		w[i], h[i] = v.W, v.H
-	}
-	x := make([]int64, n)
-	y := make([]int64, n)
-	// Left-of: a before b in both sequences. Below: a after b in Γ+
-	// and before in Γ-. O(n^2) passes suffice at primitive counts.
-	for changed := true; changed; {
-		changed = false
-		for a := 0; a < n; a++ {
-			for b := 0; b < n; b++ {
-				if a == b {
-					continue
-				}
-				if posP[a] < posP[b] && posM[a] < posM[b] {
-					if x[a]+w[a] > x[b] {
-						x[b] = x[a] + w[a]
-						changed = true
-					}
-				}
-				if posP[a] > posP[b] && posM[a] < posM[b] {
-					if y[a]+h[a] > y[b] {
-						y[b] = y[a] + h[a]
-						changed = true
-					}
-				}
-			}
-		}
-	}
-	out := make([]geom.Rect, n)
-	for i := range out {
-		out[i] = geom.Rect{X0: x[i], Y0: y[i], X1: x[i] + w[i], Y1: y[i] + h[i]}
-	}
-	return out
-}
-
-// evaluate computes the annealing cost of the current state.
-func (st *state) evaluate(p Params) evalResult {
-	rects := st.coordinates()
-	var bbox geom.Rect
-	for _, r := range rects {
-		bbox = bbox.Union(r)
-	}
-	area := float64(bbox.Area())
-	wl := 0.0
-	for _, net := range st.nets {
-		wt := net.Weight
-		if wt <= 0 {
-			wt = 1
-		}
-		pts := make([]geom.Point, 0, len(net.Blocks))
-		for _, bn := range net.Blocks {
-			pts = append(pts, rects[st.index[bn]].Center())
-		}
-		wl += wt * float64(geom.HPWL(pts))
-	}
-	symErr := st.symViolation(rects)
-	// Normalize: area in (nm^2) dominates numerically; scale wire and
-	// symmetry terms to comparable magnitude via sqrt(area).
-	scale := math.Sqrt(area) + 1
-	return evalResult{cost: area + p.WireWeight*wl*scale/100 + p.SymWeight*symErr*scale/10}
-}
-
-// symViolation measures how far each symmetry pair is from mirrored
-// placement: vertical-axis consistency across pairs plus y alignment.
-func (st *state) symViolation(rects []geom.Rect) float64 {
-	if len(st.sym) == 0 {
-		return 0
-	}
-	// All pairs share one axis: use the mean of pair midpoints.
-	axis := 0.0
-	for _, sp := range st.sym {
-		ra := rects[st.index[sp.A]]
-		rb := rects[st.index[sp.B]]
-		axis += float64(ra.Center().X+rb.Center().X) / 2
-	}
-	axis /= float64(len(st.sym))
-	viol := 0.0
-	for _, sp := range st.sym {
-		ra := rects[st.index[sp.A]]
-		rb := rects[st.index[sp.B]]
-		// Mirror distance mismatch about the common axis.
-		da := axis - float64(ra.Center().X)
-		db := float64(rb.Center().X) - axis
-		viol += math.Abs(da - db)
-		// Y alignment.
-		viol += math.Abs(float64(ra.Y0 - rb.Y0))
-	}
-	return viol
-}
-
 // placement renders the current state as the output structure.
-func (st *state) placement(p Params) *Placement {
-	rects := st.coordinates()
+func (st *state) placement() *Placement {
+	rects := make([]geom.Rect, len(st.blocks))
+	st.computeCoords(rects)
 	out := &Placement{Pos: map[string]geom.Rect{}, Variant: map[string]int{}}
 	var bbox geom.Rect
 	for i, b := range st.blocks {

@@ -2,10 +2,12 @@ package place
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
 	"primopt/internal/geom"
+	"primopt/internal/obs"
 )
 
 func squareBlocks(names ...string) []Block {
@@ -198,5 +200,169 @@ func TestPlaceNoOverlapProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestPlaceSymPairVariantLockstep is the regression test for the
+// variant-mismatch bug: a variant move on one half of a SymPair used
+// to leave the other half on a different option, so "matched"
+// primitives annealed into different aspect-ratio layouts. Variant
+// moves must keep every pair in lockstep.
+func TestPlaceSymPairVariantLockstep(t *testing.T) {
+	variants := []Variant{
+		{W: 4000, H: 250, Tag: "wide"},
+		{W: 1000, H: 1000, Tag: "square"},
+		{W: 250, H: 4000, Tag: "tall"},
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		blocks := []Block{
+			{Name: "dpa", Variants: variants},
+			{Name: "dpb", Variants: variants},
+			{Name: "load", Variants: variants[:2]},
+			{Name: "tail", Variants: []Variant{{W: 1000, H: 1000}}},
+		}
+		sym := []SymPair{{A: "dpa", B: "dpb"}}
+		pl, err := Place(blocks, nil, sym, Params{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pl.Variant["dpa"] != pl.Variant["dpb"] {
+			t.Errorf("seed %d: sym pair variants diverged: dpa=%d dpb=%d",
+				seed, pl.Variant["dpa"], pl.Variant["dpb"])
+		}
+	}
+}
+
+// TestPlaceIncrementalMatchesFull turns on the debug assertion that
+// re-evaluates every accepted and rejected move from scratch and
+// panics if the incremental cost ever diverges bit-for-bit.
+func TestPlaceIncrementalMatchesFull(t *testing.T) {
+	debugCheckIncremental = true
+	defer func() { debugCheckIncremental = false }()
+	blocks := []Block{
+		{Name: "a", Variants: []Variant{{W: 1200, H: 800}, {W: 800, H: 1200}}},
+		{Name: "b", Variants: []Variant{{W: 1200, H: 800}, {W: 800, H: 1200}}},
+		{Name: "c", Variants: []Variant{{W: 2000, H: 500}, {W: 1000, H: 1000}, {W: 500, H: 2000}}},
+		{Name: "d", Variants: []Variant{{W: 900, H: 900}}},
+		{Name: "e", Variants: []Variant{{W: 600, H: 1500}, {W: 1500, H: 600}}},
+	}
+	nets := []Net{
+		{Name: "n1", Blocks: []string{"a", "b", "c"}},
+		{Name: "n2", Blocks: []string{"c", "d"}, Weight: 3},
+		{Name: "n3", Blocks: []string{"d", "e", "a"}},
+	}
+	sym := []SymPair{{A: "a", B: "b"}}
+	if _, err := Place(blocks, nets, sym, Params{Seed: 11, Replicas: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlaceReplicaWorkerInvariance: for a fixed seed the multi-replica
+// engine must produce byte-identical placements whatever the worker
+// pool size, and across repeated runs.
+func TestPlaceReplicaWorkerInvariance(t *testing.T) {
+	mk := func() ([]Block, []Net, []SymPair) {
+		blocks := []Block{
+			{Name: "a", Variants: []Variant{{W: 1200, H: 800}, {W: 800, H: 1200}}},
+			{Name: "b", Variants: []Variant{{W: 1200, H: 800}, {W: 800, H: 1200}}},
+			{Name: "c", Variants: []Variant{{W: 2000, H: 500}, {W: 1000, H: 1000}}},
+			{Name: "d", Variants: []Variant{{W: 900, H: 900}}},
+		}
+		nets := []Net{{Name: "n", Blocks: []string{"a", "c"}}}
+		sym := []SymPair{{A: "a", B: "b"}}
+		return blocks, nets, sym
+	}
+	var ref *Placement
+	for _, workers := range []int{1, 2, 8, 1} {
+		blocks, nets, sym := mk()
+		pl, err := Place(blocks, nets, sym, Params{Seed: 9, Replicas: 5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = pl
+			continue
+		}
+		if pl.BBox != ref.BBox || pl.HPWL != ref.HPWL || pl.SymErr != ref.SymErr {
+			t.Fatalf("workers=%d changed the result: bbox %v vs %v, hpwl %d vs %d",
+				workers, pl.BBox, ref.BBox, pl.HPWL, ref.HPWL)
+		}
+		for name, r := range ref.Pos {
+			if pl.Pos[name] != r || pl.Variant[name] != ref.Variant[name] {
+				t.Errorf("workers=%d moved %s: %v/%d vs %v/%d", workers, name,
+					pl.Pos[name], pl.Variant[name], r, ref.Variant[name])
+			}
+		}
+	}
+}
+
+// TestPlaceSymViolationUnequalHeights: the y-alignment term must see
+// the height mismatch when the two halves of a pair carry variants
+// of different heights.
+func TestPlaceSymViolationUnequalHeights(t *testing.T) {
+	st := newState(
+		[]Block{
+			{Name: "a", Variants: []Variant{{W: 1000, H: 400}}},
+			{Name: "b", Variants: []Variant{{W: 1000, H: 800}}},
+		},
+		nil,
+		[]SymPair{{A: "a", B: "b"}},
+	)
+	st.index["a"], st.index["b"] = 0, 1
+	st.buildTopology()
+	// Perfectly mirrored x about axis 2000, but misaligned in y.
+	rects := []geom.Rect{
+		{X0: 500, Y0: 0, X1: 1500, Y1: 400},
+		{X0: 2500, Y0: 300, X1: 3500, Y1: 1100},
+	}
+	got := st.symViolation(rects)
+	// Axis = mean pair midpoint = 2000; mirror distances match (1000
+	// each), so the violation is purely the 300 nm Y0 offset.
+	if math.Abs(got-300) > 1e-9 {
+		t.Errorf("symViolation = %g, want 300", got)
+	}
+}
+
+// TestPlaceScheduleBandCountPinned pins the temperature-band count
+// for a fixed seed. The schedule now anchors its stop threshold to
+// the monotone best cost: before the fix it tracked the fluctuating
+// current cost, so an accepted uphill move lengthened the schedule
+// and a lucky downhill run truncated it, making the band count (and
+// runtime) wander. With best-cost anchoring the count is exactly
+// ln(startTemp/(best·1e-4))/ln(1/cooling) for this fixture.
+func TestPlaceScheduleBandCountPinned(t *testing.T) {
+	tr := obs.New()
+	root := tr.Start("test")
+	blocks := squareBlocks("a", "b", "c", "d", "e")
+	nets := []Net{{Name: "n", Blocks: []string{"a", "e"}}}
+	if _, err := Place(blocks, nets, nil, Params{Seed: 42, Obs: root}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	var buf strings.Builder
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := obs.ReadJSONL(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := d.Span("place.anneal")
+	if sp == nil {
+		t.Fatal("no place.anneal span")
+	}
+	if got, ok := sp.Attrs["bands"].(float64); !ok || got != 118 {
+		t.Errorf("bands = %v, want 118", sp.Attrs["bands"])
+	}
+	// The replica accounting the CI checktrace relies on.
+	if m := d.Metric("place.replicas"); m == nil || m.Value != 1 {
+		t.Errorf("place.replicas metric = %v, want 1", m)
+	}
+	reps := d.SpansNamed("place.replica")
+	if len(reps) != 1 {
+		t.Fatalf("place.replica spans = %d, want 1", len(reps))
+	}
+	if _, ok := reps[0].Attrs["best_cost"]; !ok {
+		t.Error("place.replica span missing best_cost attr")
 	}
 }

@@ -263,15 +263,34 @@ func abs(v int) int {
 	return v
 }
 
-// pq is the A* priority queue.
+// less is the stable node order used for deterministic tie-breaking:
+// layer, then row, then column.
+func (n node) less(m node) bool {
+	if n.l != m.l {
+		return n.l < m.l
+	}
+	if n.y != m.y {
+		return n.y < m.y
+	}
+	return n.x < m.x
+}
+
+// pq is the A* priority queue. Ties on f are broken on the stable
+// node order, never on heap insertion order, so equal-cost paths are
+// chosen identically run after run.
 type pqItem struct {
 	n    node
 	f, g float64
 }
 type pq []pqItem
 
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].f < q[j].f }
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	if q[i].f != q[j].f {
+		return q[i].f < q[j].f
+	}
+	return q[i].n.less(q[j].n)
+}
 func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
 func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
 func (q *pq) Pop() interface{} {
@@ -292,7 +311,16 @@ func (r *router) astar(tree map[node]bool, region geom.Rect, pin Pin) ([]node, e
 	open := &pq{}
 	gScore := map[node]float64{}
 	parent := map[node]node{}
+	// Seed the open set in sorted node order — ranging over the tree
+	// map here once let Go's randomized map iteration pick between
+	// equal-cost paths, flipping the congestion map (and every
+	// downstream port-optimization input) between runs.
+	seeds := make([]node, 0, len(tree))
 	for tn := range tree {
+		seeds = append(seeds, tn)
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i].less(seeds[j]) })
+	for _, tn := range seeds {
 		gScore[tn] = 0
 		heap.Push(open, pqItem{n: tn, g: 0, f: float64(abs(tn.x-tx) + abs(tn.y-ty))})
 	}

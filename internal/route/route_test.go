@@ -221,3 +221,132 @@ func TestRouteLowerBoundProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestRouteDeterministicCongested is the regression test for the A*
+// map-iteration bug: the open heap used to be seeded by ranging over
+// the tree map, so equal-cost paths flipped with Go's randomized map
+// order, changing the congestion map and via counts between runs.
+// On a congested multi-net fixture with many cost ties, repeated
+// runs must now produce byte-identical geometry.
+func TestRouteDeterministicCongested(t *testing.T) {
+	mk := func() []NetReq {
+		var nets []NetReq
+		// Crossing + parallel nets over a shared column, with a
+		// multi-pin net thrown in: plenty of equal-f frontier ties.
+		for i := 0; i < 5; i++ {
+			nets = append(nets, NetReq{
+				Name: "h" + string(rune('0'+i)),
+				Pins: []Pin{
+					{At: geom.Point{X: 500, Y: 2000 + int64(i)*40}},
+					{At: geom.Point{X: 9500, Y: 2000 + int64(i)*40}},
+				},
+			})
+		}
+		nets = append(nets, NetReq{
+			Name: "x",
+			Pins: []Pin{
+				{At: geom.Point{X: 5000, Y: 500}},
+				{At: geom.Point{X: 5000, Y: 9500}},
+				{At: geom.Point{X: 500, Y: 5000}},
+			},
+		})
+		return nets
+	}
+	ref, err := Route(tech, region(), mk(), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 5; run++ {
+		res, err := Route(tech, region(), mk(), Params{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.OverflowEdges != ref.OverflowEdges {
+			t.Fatalf("run %d: overflow %d vs %d", run, res.OverflowEdges, ref.OverflowEdges)
+		}
+		for name, want := range ref.Nets {
+			got := res.Nets[name]
+			if len(got.Segments) != len(want.Segments) {
+				t.Fatalf("run %d net %s: %d segments vs %d", run, name, len(got.Segments), len(want.Segments))
+			}
+			for i := range want.Segments {
+				if got.Segments[i] != want.Segments[i] {
+					t.Fatalf("run %d net %s segment %d: %v vs %v", run, name, i, got.Segments[i], want.Segments[i])
+				}
+			}
+			if len(got.ViaPoints) != len(want.ViaPoints) {
+				t.Fatalf("run %d net %s: %d vias vs %d", run, name, len(got.ViaPoints), len(want.ViaPoints))
+			}
+			for i := range want.ViaPoints {
+				if got.ViaPoints[i] != want.ViaPoints[i] {
+					t.Fatalf("run %d net %s via %d: %v vs %v", run, name, i, got.ViaPoints[i], want.ViaPoints[i])
+				}
+			}
+			for l, ln := range want.LengthByLayer {
+				if got.LengthByLayer[l] != ln {
+					t.Fatalf("run %d net %s layer %d: %d vs %d", run, name, l, got.LengthByLayer[l], ln)
+				}
+			}
+		}
+	}
+}
+
+// TestRouteSameGcellPins: a pin landing in the gcell the tree already
+// occupies routes with an empty path — no segments, no vias, and the
+// dominant layer reported to port optimization falls back to M3.
+func TestRouteSameGcellPins(t *testing.T) {
+	nets := []NetReq{{
+		Name: "tight",
+		Pins: []Pin{
+			{Block: "a", At: geom.Point{X: 100, Y: 100}},
+			{Block: "b", At: geom.Point{X: 180, Y: 150}},
+		},
+	}}
+	res, err := Route(tech, region(), nets, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr := res.Nets["tight"]
+	if nr.TotalLength() != 0 {
+		t.Errorf("length = %d, want 0", nr.TotalLength())
+	}
+	if len(nr.Segments) != 0 || nr.Vias != 0 || len(nr.ViaPoints) != 0 {
+		t.Errorf("same-gcell route has geometry: %d segments, %d vias", len(nr.Segments), nr.Vias)
+	}
+	if nr.DominantLayer() != 2 {
+		t.Errorf("dominant layer = %d, want M3 fallback (2)", nr.DominantLayer())
+	}
+}
+
+// TestRouteCommitViaOnlyPath drives commit directly with a pure
+// layer-hop path: every hop must be recorded as a ViaPoint with the
+// correct Lower layer and contribute no wire length.
+func TestRouteCommitViaOnlyPath(t *testing.T) {
+	p := Params{}.withDefaults(tech)
+	r := &router{tech: tech, p: p, nx: 50, ny: 50, use: map[[5]int]int{}}
+	nr := &NetRoute{Name: "v", LengthByLayer: map[pdk.Layer]int64{}}
+	// Path is goal-to-tree order, as astar reconstructs it: descend
+	// from layer 4 to the pin landing at MinLayer (2).
+	path := []node{{x: 3, y: 4, l: 2}, {x: 3, y: 4, l: 3}, {x: 3, y: 4, l: 4}}
+	r.commit(nr, path, region())
+	if nr.Vias != 2 {
+		t.Fatalf("vias = %d, want 2", nr.Vias)
+	}
+	// The path is walked goal-first, so the 2↔3 hop lands before the
+	// 3↔4 hop; each Lower names the lower layer of its stack.
+	if got := []pdk.Layer{nr.ViaPoints[0].Lower, nr.ViaPoints[1].Lower}; got[0] != 2 || got[1] != 3 {
+		t.Errorf("via lowers = %v, want [2 3]", got)
+	}
+	want := geom.Point{X: 3*200 + 100, Y: 4*200 + 100}
+	for i, vp := range nr.ViaPoints {
+		if vp.At != want {
+			t.Errorf("via %d at %v, want %v", i, vp.At, want)
+		}
+	}
+	if nr.TotalLength() != 0 || len(nr.Segments) != 0 {
+		t.Errorf("via-only path added wire: len=%d segments=%d", nr.TotalLength(), len(nr.Segments))
+	}
+	if len(r.use) != 0 {
+		t.Errorf("via-only path touched the congestion map: %v", r.use)
+	}
+}
