@@ -16,11 +16,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"primopt/internal/cellgen"
 	"primopt/internal/circuits"
 	"primopt/internal/evcache"
+	"primopt/internal/fault"
 	"primopt/internal/flow"
 	"primopt/internal/layoutio"
 	"primopt/internal/mc"
@@ -34,6 +37,55 @@ var (
 	svgOut  string
 	consOut string
 )
+
+// faultFlags carries the robustness flag values shared by the run and
+// verify entry points: a deterministic fault-injection spec and a
+// per-stage deadline.
+type faultFlags struct {
+	spec    string
+	seed    int64
+	timeout time.Duration
+}
+
+func registerFaultFlags(fs *flag.FlagSet, f *faultFlags) {
+	fs.StringVar(&f.spec, "fault-spec", "",
+		"deterministic fault injection: site:mode[@N[+]][~P],... "+
+			"(sites: "+strings.Join(fault.Sites(), ", ")+"; modes: error, panic, delay=DURATION)")
+	fs.Int64Var(&f.seed, "fault-seed", 1, "seed for probabilistic (~P) fault terms")
+	fs.DurationVar(&f.timeout, "timeout", 0, "per-stage deadline for flow stages (e.g. 30s; 0 = none)")
+}
+
+// apply installs the flags onto the flow params; a bad -fault-spec is
+// a usage error surfaced before any run starts.
+func (f *faultFlags) apply(p *flow.Params) error {
+	p.StageTimeout = f.timeout
+	if f.spec == "" {
+		return nil
+	}
+	inj, err := fault.New(f.seed, f.spec)
+	if err != nil {
+		return err
+	}
+	p.Fault = inj
+	return nil
+}
+
+// printDegraded reports the elements a run completed without (the
+// graceful-degradation ladder's fallbacks), so a fault-armed or
+// flaky run is visibly partial rather than silently lossy.
+func printDegraded(mode flow.Mode, degraded map[string]string) {
+	if len(degraded) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(degraded))
+	for k := range degraded {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%-12s degraded: %s (%s)\n", mode, k, degraded[k])
+	}
+}
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "verify" {
@@ -55,6 +107,8 @@ func main() {
 	mcRun := flag.Bool("mc", false, "run the Monte Carlo offset comparison across DP patterns")
 	var of obsFlags
 	registerObsFlags(flag.CommandLine, &of)
+	var ff faultFlags
+	registerFaultFlags(flag.CommandLine, &ff)
 	flag.Parse()
 	svgOut = *svgPath
 	consOut = *consPath
@@ -76,7 +130,7 @@ func main() {
 	case *table != "":
 		runErr = runTables(tech, *table, *stages)
 	case *circuitName != "":
-		runErr = runCircuit(tech, *circuitName, *mode, *stages, *seed, *cache, *workers, *placeReplicas)
+		runErr = runCircuit(tech, *circuitName, *mode, *stages, *seed, *cache, *workers, *placeReplicas, ff)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -113,7 +167,7 @@ func buildCircuit(tech *pdk.Tech, name string, stages int) (*circuits.Benchmark,
 	}
 }
 
-func runCircuit(tech *pdk.Tech, name, modeName string, stages int, seed int64, cache bool, workers, placeReplicas int) error {
+func runCircuit(tech *pdk.Tech, name, modeName string, stages int, seed int64, cache bool, workers, placeReplicas int, ff faultFlags) error {
 	bm, err := buildCircuit(tech, name, stages)
 	if err != nil {
 		return err
@@ -140,6 +194,9 @@ func runCircuit(tech *pdk.Tech, name, modeName string, stages int, seed int64, c
 	results := map[flow.Mode]*flow.Result{}
 	for _, m := range order {
 		p := flow.Params{Seed: seed}
+		if err := ff.apply(&p); err != nil {
+			return err
+		}
 		p.Optimize.Workers = workers
 		p.Place.Replicas = placeReplicas
 		// A fresh cache per run keeps the per-mode timings honest (no
@@ -154,6 +211,7 @@ func runCircuit(tech *pdk.Tech, name, modeName string, stages int, seed int64, c
 		}
 		results[m] = r
 		fmt.Printf("%-12s done in %s (%d SPICE runs)\n", m, r.Runtime.Round(1e6), r.Sims)
+		printDegraded(m, r.Degraded)
 		if c := p.Optimize.Cache; c != nil {
 			st := c.Stats()
 			fmt.Printf("%-12s cache: %d hits / %d misses, %d entries (~%d KiB)\n",

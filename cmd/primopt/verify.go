@@ -23,6 +23,8 @@ func runVerifyCmd(args []string) int {
 	stages := fs.Int("stages", 8, "RO-VCO stage count")
 	seed := fs.Int64("seed", 1, "placement seed")
 	placeReplicas := fs.Int("place-replicas", 1, "independently seeded annealing replicas in the placer")
+	var ff faultFlags
+	registerFaultFlags(fs, &ff)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: primopt verify -circuit <name> [-mode m] [-format text|json]")
 		fs.PrintDefaults()
@@ -70,6 +72,10 @@ func runVerifyCmd(args []string) int {
 	status := 0
 	for _, m := range order {
 		p := flow.Params{Seed: *seed}
+		if err := ff.apply(&p); err != nil {
+			fmt.Fprintln(os.Stderr, "primopt verify:", err)
+			return 2
+		}
 		p.Place.Replicas = *placeReplicas
 		if m == flow.Optimized || m == flow.Manual {
 			p.Optimize.Cache = evcache.New()

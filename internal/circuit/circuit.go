@@ -173,7 +173,10 @@ func (nl *Netlist) Add(d *Device) error {
 }
 
 // MustAdd is Add that panics on error; for programmatic circuit
-// construction where the inputs are literals.
+// construction where the inputs are literals. The panic marks a
+// builder-misuse invariant (duplicate or malformed literal device),
+// not a runtime condition — flow code assembling netlists from
+// computed names must use Add and handle the error.
 func (nl *Netlist) MustAdd(d *Device) {
 	if err := nl.Add(d); err != nil {
 		panic(err)
@@ -236,13 +239,15 @@ func (nl *Netlist) DevicesOnNet(n string) []*Device {
 }
 
 // Clone returns a deep copy of the netlist including annotations.
+// The copy is built by direct construction rather than Add, so Clone
+// never fails (or panics): it reproduces the source's device set and
+// name index exactly as they stand.
 func (nl *Netlist) Clone() *Netlist {
 	c := New(nl.Name)
 	for _, d := range nl.Devices {
-		// Adding a clone of an already-validated device cannot fail.
-		if err := c.Add(d.Clone()); err != nil {
-			panic(err)
-		}
+		dd := d.Clone()
+		c.Devices = append(c.Devices, dd)
+		c.byName[strings.ToLower(dd.Name)] = dd
 	}
 	for _, p := range nl.Primitives {
 		cp := &Primitive{Name: p.Name, Kind: p.Kind}

@@ -8,6 +8,7 @@
 package circuits
 
 import (
+	"context"
 	"fmt"
 
 	"primopt/internal/circuit"
@@ -62,8 +63,9 @@ type Benchmark struct {
 	// handles (signal nets; power is routed manually per the paper).
 	RoutedNets []string
 	// Eval measures the circuit-level metrics on a (schematic or
-	// post-layout) netlist variant.
-	Eval func(t *pdk.Tech, nl *circuit.Netlist) (map[string]float64, error)
+	// post-layout) netlist variant. The context bounds every SPICE run
+	// underneath (pass context.Background() when no deadline applies).
+	Eval func(ctx context.Context, t *pdk.Tech, nl *circuit.Netlist) (map[string]float64, error)
 	// MetricOrder fixes the reporting order of Eval's keys.
 	MetricOrder []string
 	// MetricUnit maps metric name to display unit.
@@ -110,16 +112,22 @@ func (b *Benchmark) Validate() error {
 }
 
 // opOf simulates the schematic operating point.
-func opOf(t *pdk.Tech, nl *circuit.Netlist) (*spice.OPResult, error) {
+func opOf(ctx context.Context, t *pdk.Tech, nl *circuit.Netlist) (*spice.OPResult, error) {
 	e, err := spice.New(t, nl)
 	if err != nil {
 		return nil, err
 	}
+	e.WithContext(ctx)
 	return e.OP()
 }
 
 // SchematicOP exposes the benchmark's operating point for bias
 // derivation.
 func (b *Benchmark) SchematicOP(t *pdk.Tech) (*spice.OPResult, error) {
-	return opOf(t, b.Schematic)
+	return b.SchematicOPCtx(context.Background(), t)
+}
+
+// SchematicOPCtx is SchematicOP bound to a context.
+func (b *Benchmark) SchematicOPCtx(ctx context.Context, t *pdk.Tech) (*spice.OPResult, error) {
+	return opOf(ctx, t, b.Schematic)
 }

@@ -1,6 +1,7 @@
 package circuits
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -49,7 +50,7 @@ func CommonSource(t *pdk.Tech) (*Benchmark, error) {
 	for i := 0; i < 40; i++ {
 		mid := (lo + hi) / 2
 		nl = build(mid)
-		op, err := opOf(t, nl)
+		op, err := opOf(context.Background(), t, nl)
 		if err != nil {
 			return nil, fmt.Errorf("csamp bias search: %w", err)
 		}
@@ -94,7 +95,7 @@ func CommonSource(t *pdk.Tech) (*Benchmark, error) {
 		MetricOrder: []string{"gain_db", "ugf", "power"},
 		MetricUnit:  map[string]string{"gain_db": "dB", "ugf": "Hz", "power": "W"},
 	}
-	bm.Eval = func(t *pdk.Tech, nl *circuit.Netlist) (map[string]float64, error) {
+	bm.Eval = func(ctx context.Context, t *pdk.Tech, nl *circuit.Netlist) (map[string]float64, error) {
 		sim := nl.Clone()
 		vinDev := sim.Device("vin")
 		if vinDev == nil {
@@ -105,6 +106,7 @@ func CommonSource(t *pdk.Tech) (*Benchmark, error) {
 		if err != nil {
 			return nil, err
 		}
+		e.WithContext(ctx)
 		op, err := e.OP()
 		if err != nil {
 			return nil, err

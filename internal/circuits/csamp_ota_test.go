@@ -1,6 +1,7 @@
 package circuits
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -41,7 +42,7 @@ func TestCommonSourceSchematicMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	vals, err := bm.Eval(tech, bm.Schematic)
+	vals, err := bm.Eval(context.Background(), tech, bm.Schematic)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestOTA5TSchematicMetrics(t *testing.T) {
 	if v := op.Volt("tail"); v < 0.02 || v > 0.4 {
 		t.Errorf("V(tail) = %g", v)
 	}
-	vals, err := bm.Eval(tech, bm.Schematic)
+	vals, err := bm.Eval(context.Background(), tech, bm.Schematic)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestBenchmarkEvalRejectsBrokenNetlist(t *testing.T) {
 	}
 	broken := bm.Schematic.Clone()
 	broken.Remove("vip")
-	if _, err := bm.Eval(tech, broken); err == nil {
+	if _, err := bm.Eval(context.Background(), tech, broken); err == nil {
 		t.Error("eval accepted a netlist without its input source")
 	}
 }
@@ -195,7 +196,7 @@ func TestStrongARMNoDecisionDetected(t *testing.T) {
 	dead := bm.Schematic.Clone()
 	dead.Device("vclk").Wave = nil
 	dead.Device("vclk").SetParam("dc", 0)
-	if _, err := bm.Eval(tech, dead); err == nil {
+	if _, err := bm.Eval(context.Background(), tech, dead); err == nil {
 		t.Error("clock-less comparator produced a delay")
 	}
 }

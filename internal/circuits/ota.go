@@ -1,6 +1,7 @@
 package circuits
 
 import (
+	"context"
 	"fmt"
 
 	"primopt/internal/circuit"
@@ -87,7 +88,7 @@ func OTA5T(t *pdk.Tech) (*Benchmark, error) {
 			"current": "A", "gain_db": "dB", "ugf": "Hz", "f3db": "Hz", "pm": "deg",
 		},
 	}
-	bm.Eval = func(t *pdk.Tech, nl *circuit.Netlist) (map[string]float64, error) {
+	bm.Eval = func(ctx context.Context, t *pdk.Tech, nl *circuit.Netlist) (map[string]float64, error) {
 		sim := nl.Clone()
 		vp := sim.Device("vip")
 		vn := sim.Device("vin")
@@ -101,6 +102,7 @@ func OTA5T(t *pdk.Tech) (*Benchmark, error) {
 		if err != nil {
 			return nil, err
 		}
+		e.WithContext(ctx)
 		op, err := e.OP()
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package circuits
 
 import (
+	"context"
 	"fmt"
 
 	"primopt/internal/circuit"
@@ -80,8 +81,8 @@ func ROVCO(t *pdk.Tech, stages int) (*Benchmark, error) {
 		MetricOrder: []string{"fmax", "fmin", "vlo", "vhi"},
 		MetricUnit:  map[string]string{"fmax": "Hz", "fmin": "Hz", "vlo": "V", "vhi": "V"},
 	}
-	bm.Eval = func(t *pdk.Tech, nl *circuit.Netlist) (map[string]float64, error) {
-		return EvalVCOCurve(t, nl, []float64{0.35, 0.40, 0.45, 0.50, 0.60, 0.80})
+	bm.Eval = func(ctx context.Context, t *pdk.Tech, nl *circuit.Netlist) (map[string]float64, error) {
+		return EvalVCOCurveCtx(ctx, t, nl, []float64{0.35, 0.40, 0.45, 0.50, 0.60, 0.80})
 	}
 	if err := bm.Validate(); err != nil {
 		return nil, err
@@ -118,6 +119,11 @@ func ringNets(stages int) []string {
 // post-layout) VCO netlist at one control voltage; ok=false when the
 // ring does not oscillate there.
 func EvalVCOAt(t *pdk.Tech, nl *circuit.Netlist, vctrl float64) (float64, bool, error) {
+	return EvalVCOAtCtx(context.Background(), t, nl, vctrl)
+}
+
+// EvalVCOAtCtx is EvalVCOAt bound to a context.
+func EvalVCOAtCtx(ctx context.Context, t *pdk.Tech, nl *circuit.Netlist, vctrl float64) (float64, bool, error) {
 	sim := nl.Clone()
 	vdd := 0.8
 	if d := sim.Device("vdd"); d != nil {
@@ -133,6 +139,7 @@ func EvalVCOAt(t *pdk.Tech, nl *circuit.Netlist, vctrl float64) (float64, bool, 
 	if err != nil {
 		return 0, false, err
 	}
+	e.WithContext(ctx)
 	// Kick the ring out of its metastable symmetric point. Start with
 	// a short window (fast oscillation at high vctrl resolves in a few
 	// ns) and extend only if no crossings appear — slow starved rings
@@ -187,11 +194,16 @@ func EvalVCOAt(t *pdk.Tech, nl *circuit.Netlist, vctrl float64) (float64, bool, 
 // EvalVCOCurve sweeps control voltages and reports fmax, fmin, and
 // the oscillating control range (Table VII's rows).
 func EvalVCOCurve(t *pdk.Tech, nl *circuit.Netlist, vctrls []float64) (map[string]float64, error) {
+	return EvalVCOCurveCtx(context.Background(), t, nl, vctrls)
+}
+
+// EvalVCOCurveCtx is EvalVCOCurve bound to a context.
+func EvalVCOCurveCtx(ctx context.Context, t *pdk.Tech, nl *circuit.Netlist, vctrls []float64) (map[string]float64, error) {
 	fmax, fmin := 0.0, 0.0
 	vlo, vhi := 0.0, 0.0
 	any := false
 	for _, v := range vctrls {
-		f, ok, err := EvalVCOAt(t, nl, v)
+		f, ok, err := EvalVCOAtCtx(ctx, t, nl, v)
 		if err != nil {
 			return nil, err
 		}

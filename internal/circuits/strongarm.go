@@ -1,6 +1,7 @@
 package circuits
 
 import (
+	"context"
 	"fmt"
 
 	"primopt/internal/circuit"
@@ -114,11 +115,12 @@ func StrongARM(t *pdk.Tech) (*Benchmark, error) {
 		MetricOrder: []string{"delay", "power"},
 		MetricUnit:  map[string]string{"delay": "s", "power": "W"},
 	}
-	bm.Eval = func(t *pdk.Tech, nl *circuit.Netlist) (map[string]float64, error) {
+	bm.Eval = func(ctx context.Context, t *pdk.Tech, nl *circuit.Netlist) (map[string]float64, error) {
 		e, err := spice.New(t, nl)
 		if err != nil {
 			return nil, err
 		}
+		e.WithContext(ctx)
 		res, err := e.Tran(4e-12, 1.5*clkPer, spice.TranOpts{})
 		if err != nil {
 			return nil, err

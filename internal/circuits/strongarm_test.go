@@ -1,6 +1,7 @@
 package circuits
 
 import (
+	"context"
 	"testing"
 )
 
@@ -9,7 +10,7 @@ func TestStrongARMSchematic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	vals, err := bm.Eval(tech, bm.Schematic)
+	vals, err := bm.Eval(context.Background(), tech, bm.Schematic)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package circuits
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -16,7 +17,7 @@ func TestTelescopicSchematic(t *testing.T) {
 	}
 	t.Logf("out=%.3f o1=%.3f x1=%.3f y1=%.3f tail=%.3f",
 		op.Volt("out"), op.Volt("o1"), op.Volt("x1"), op.Volt("y1"), op.Volt("tail"))
-	vals, err := bm.Eval(tech, bm.Schematic)
+	vals, err := bm.Eval(context.Background(), tech, bm.Schematic)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +26,7 @@ func TestTelescopicSchematic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	otaVals, err := ota.Eval(tech, ota.Schematic)
+	otaVals, err := ota.Eval(context.Background(), tech, ota.Schematic)
 	if err != nil {
 		t.Fatal(err)
 	}

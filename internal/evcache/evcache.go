@@ -25,6 +25,7 @@
 package evcache
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -34,6 +35,7 @@ import (
 	"primopt/internal/cellgen"
 	"primopt/internal/cost"
 	"primopt/internal/extract"
+	"primopt/internal/fault"
 	"primopt/internal/obs"
 	"primopt/internal/primlib"
 )
@@ -176,7 +178,23 @@ func (c *Cache) MarkRequested(key string) bool {
 // cache never aliases the caller's live layout. Counters land on tr
 // (nil-safe): evcache.hits, evcache.misses, evcache.bytes.
 func (c *Cache) Do(tr *obs.Trace, key string, compute func() (*Entry, error)) (*Entry, error) {
+	return c.DoCtx(context.Background(), tr, key, compute)
+}
+
+// DoCtx is Do bound to a context. A failed or canceled in-flight
+// computation never poisons waiters: each waiter wakes, re-checks,
+// and (with a healthy context of its own) re-attempts the
+// computation; a waiter whose own context is done returns that
+// context's error instead of the first caller's. The computation slot
+// is panic-safe — a panicking compute releases the key and wakes the
+// waiters before the panic propagates, so a recovered worker crash
+// cannot strand other goroutines or corrupt the cache.
+func (c *Cache) DoCtx(ctx context.Context, tr *obs.Trace, key string, compute func() (*Entry, error)) (*Entry, error) {
+	inj := fault.From(ctx)
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		c.mu.Lock()
 		if e, ok := c.entries[key]; ok {
 			c.mu.Unlock()
@@ -186,25 +204,21 @@ func (c *Cache) Do(tr *obs.Trace, key string, compute func() (*Entry, error)) (*
 		}
 		if ch, ok := c.inflight[key]; ok {
 			c.mu.Unlock()
-			<-ch
-			// Re-check: the computation either stored an entry (hit)
-			// or failed (loop and become the computer ourselves).
-			continue
+			select {
+			case <-ch:
+				// Re-check: the computation either stored an entry
+				// (hit) or failed (loop and become the computer
+				// ourselves).
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
 		}
 		ch := make(chan struct{})
 		c.inflight[key] = ch
 		c.mu.Unlock()
 
-		ent, err := compute()
-		c.mu.Lock()
-		delete(c.inflight, key)
-		if err == nil {
-			stored := ent.clone()
-			c.entries[key] = stored
-			c.bytes.Add(stored.approxBytes())
-		}
-		c.mu.Unlock()
-		close(ch)
+		ent, err := c.runCompute(ctx, key, ch, inj, compute)
 		if err != nil {
 			return nil, err
 		}
@@ -213,4 +227,29 @@ func (c *Cache) Do(tr *obs.Trace, key string, compute func() (*Entry, error)) (*
 		tr.Counter("evcache.bytes").Add(ent.approxBytes())
 		return ent, nil
 	}
+}
+
+// runCompute executes the single-flight computation for key, storing
+// the result on success and always releasing the in-flight slot —
+// including when compute panics — so waiters never block forever.
+func (c *Cache) runCompute(ctx context.Context, key string, ch chan struct{}, inj *fault.Injector, compute func() (*Entry, error)) (ent *Entry, err error) {
+	done := false
+	defer func() {
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if done && err == nil {
+			stored := ent.clone()
+			c.entries[key] = stored
+			c.bytes.Add(stored.approxBytes())
+		}
+		c.mu.Unlock()
+		close(ch)
+	}()
+	if err = inj.Hit(fault.SiteEvcacheCompute); err != nil {
+		done = true
+		return nil, err
+	}
+	ent, err = compute()
+	done = true
+	return ent, err
 }

@@ -128,14 +128,15 @@ func spliceCascodePair(t *pdk.Tech, nl *circuit.Netlist, name string, ch *chosen
 	da.Nets[pinS] = na
 	db.Nets[pinS] = nb
 	rcA, rcB, rcS := ex.Term["s_a"], ex.Term["s_b"], ex.Term["s"]
-	mustAddR(nl, name+"_rw_s_a", na, spine, max1m(rcA.R))
-	mustAddR(nl, name+"_rw_s_b", nb, spine, max1m(rcB.R))
-	addC(nl, name+"_cw_s_a", na, rcA.Total())
-	addC(nl, name+"_cw_s_b", nb, rcB.Total())
-	mustAddR(nl, name+"_rw_s", spine, tailNet, max1m(rcS.R))
-	addC(nl, name+"_cwn_s", spine, rcS.CNear)
-	addC(nl, name+"_cwf_s", tailNet, rcS.CFar)
-	return nil
+	ad := &adder{nl: nl}
+	ad.R(name+"_rw_s_a", na, spine, max1m(rcA.R))
+	ad.R(name+"_rw_s_b", nb, spine, max1m(rcB.R))
+	ad.C(name+"_cw_s_a", na, rcA.Total())
+	ad.C(name+"_cw_s_b", nb, rcB.Total())
+	ad.R(name+"_rw_s", spine, tailNet, max1m(rcS.R))
+	ad.C(name+"_cwn_s", spine, rcS.CNear)
+	ad.C(name+"_cwf_s", tailNet, rcS.CFar)
+	return ad.err
 }
 
 // newNode returns a fresh internal net name.
@@ -172,22 +173,23 @@ func spliceWire(t *pdk.Tech, nl *circuit.Netlist, name, wire string,
 	for _, pr := range pins {
 		nl.Device(pr.dev).Nets[pr.pin] = inner
 	}
+	ad := &adder{nl: nl}
 	if rt == nil {
-		mustAddR(nl, name+"_rw_"+wire, inner, orig, max1m(rc.R))
-		addC(nl, name+"_cwn_"+wire, inner, rc.CNear)
-		addC(nl, name+"_cwf_"+wire, orig, rc.CFar)
-		return nil
+		ad.R(name+"_rw_"+wire, inner, orig, max1m(rc.R))
+		ad.C(name+"_cwn_"+wire, inner, rc.CNear)
+		ad.C(name+"_cwf_"+wire, orig, rc.CFar)
+		return ad.err
 	}
 	// Routed port: inner --R(wire)--> port --R(route)--> orig.
 	port := newNode(name, wire+".port", 0)
-	mustAddR(nl, name+"_rw_"+wire, inner, port, max1m(rc.R))
-	addC(nl, name+"_cwn_"+wire, inner, rc.CNear)
-	addC(nl, name+"_cwf_"+wire, port, rc.CFar)
+	ad.R(name+"_rw_"+wire, inner, port, max1m(rc.R))
+	ad.C(name+"_cwn_"+wire, inner, rc.CNear)
+	ad.C(name+"_cwf_"+wire, port, rc.CFar)
 	routeR, routeC := extract.RouteRC(t, *rt)
-	mustAddR(nl, name+"_rt_"+wire, port, orig, max1m(routeR))
-	addC(nl, name+"_crtp_"+wire, port, routeC/2)
-	addC(nl, name+"_crtf_"+wire, orig, routeC/2)
-	return nil
+	ad.R(name+"_rt_"+wire, port, orig, max1m(routeR))
+	ad.C(name+"_crtp_"+wire, port, routeC/2)
+	ad.C(name+"_crtf_"+wire, orig, routeC/2)
+	return ad.err
 }
 
 type pinRef struct {
@@ -195,19 +197,30 @@ type pinRef struct {
 	pin int
 }
 
-func mustAddR(nl *circuit.Netlist, name, a, b string, r float64) {
-	d := &circuit.Device{Name: name, Type: circuit.Resistor, Nets: []string{a, b}}
-	d.SetParam("r", r)
-	nl.MustAdd(d)
+// adder accumulates parasitic devices onto a netlist, capturing the
+// first Add failure (duplicate name, malformed device) so splice
+// helpers surface it as an error instead of panicking mid-assembly.
+type adder struct {
+	nl  *circuit.Netlist
+	err error
 }
 
-func addC(nl *circuit.Netlist, name, node string, c float64) {
-	if c <= 0 || node == "" {
+func (ad *adder) R(name, a, b string, r float64) {
+	if ad.err != nil {
+		return
+	}
+	d := &circuit.Device{Name: name, Type: circuit.Resistor, Nets: []string{a, b}}
+	d.SetParam("r", r)
+	ad.err = ad.nl.Add(d)
+}
+
+func (ad *adder) C(name, node string, c float64) {
+	if ad.err != nil || c <= 0 || node == "" {
 		return
 	}
 	d := &circuit.Device{Name: name, Type: circuit.Capacitor, Nets: []string{node, "0"}}
 	d.SetParam("c", c)
-	nl.MustAdd(d)
+	ad.err = ad.nl.Add(d)
 }
 
 // splicePair handles diffpair/cmirror/xcpair structures: independent
@@ -276,25 +289,26 @@ func splicePair(t *pdk.Tech, nl *circuit.Netlist, name string, ch *chosen) error
 	rcA := ex.Term["s_a"]
 	rcB := ex.Term["s_b"]
 	rcS := ex.Term["s"]
-	mustAddR(nl, name+"_rw_s_a", na, spine, max1m(rcA.R))
-	mustAddR(nl, name+"_rw_s_b", nb, spine, max1m(rcB.R))
-	addC(nl, name+"_cw_s_a", na, rcA.Total())
-	addC(nl, name+"_cw_s_b", nb, rcB.Total())
+	ad := &adder{nl: nl}
+	ad.R(name+"_rw_s_a", na, spine, max1m(rcA.R))
+	ad.R(name+"_rw_s_b", nb, spine, max1m(rcB.R))
+	ad.C(name+"_cw_s_a", na, rcA.Total())
+	ad.C(name+"_cw_s_b", nb, rcB.Total())
 	if rt := routeOf(ch, "s"); rt != nil {
 		port := newNode(name, "s.port", 0)
-		mustAddR(nl, name+"_rw_s", spine, port, max1m(rcS.R))
-		addC(nl, name+"_cwn_s", spine, rcS.CNear)
-		addC(nl, name+"_cwf_s", port, rcS.CFar)
+		ad.R(name+"_rw_s", spine, port, max1m(rcS.R))
+		ad.C(name+"_cwn_s", spine, rcS.CNear)
+		ad.C(name+"_cwf_s", port, rcS.CFar)
 		routeR, routeC := extract.RouteRC(t, *rt)
-		mustAddR(nl, name+"_rt_s", port, tailNet, max1m(routeR))
-		addC(nl, name+"_crtp_s", port, routeC/2)
-		addC(nl, name+"_crtf_s", tailNet, routeC/2)
+		ad.R(name+"_rt_s", port, tailNet, max1m(routeR))
+		ad.C(name+"_crtp_s", port, routeC/2)
+		ad.C(name+"_crtf_s", tailNet, routeC/2)
 	} else {
-		mustAddR(nl, name+"_rw_s", spine, tailNet, max1m(rcS.R))
-		addC(nl, name+"_cwn_s", spine, rcS.CNear)
-		addC(nl, name+"_cwf_s", tailNet, rcS.CFar)
+		ad.R(name+"_rw_s", spine, tailNet, max1m(rcS.R))
+		ad.C(name+"_cwn_s", spine, rcS.CNear)
+		ad.C(name+"_cwf_s", tailNet, rcS.CFar)
 	}
-	return nil
+	return ad.err
 }
 
 func max1m(r float64) float64 {

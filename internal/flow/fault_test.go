@@ -1,0 +1,224 @@
+package flow
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"primopt/internal/circuits"
+	"primopt/internal/fault"
+	"primopt/internal/obs"
+	"primopt/internal/verify"
+)
+
+func testTrace(t *testing.T) *obs.Trace {
+	t.Helper()
+	old := obs.Default()
+	tr := obs.New()
+	obs.SetDefault(tr)
+	t.Cleanup(func() { obs.SetDefault(old) })
+	return tr
+}
+
+func faultParams(t *testing.T, spec string) Params {
+	t.Helper()
+	p := fastParams()
+	inj, err := fault.New(1, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Fault = inj
+	return p
+}
+
+// TestFlowDegradesToConventionalOnOptimizeFault: with extraction
+// failing on every hit, the optimized run must complete on the
+// conventional fallback, mark every instance Degraded, and count it.
+func TestFlowDegradesToConventionalOnOptimizeFault(t *testing.T) {
+	tr := testTrace(t)
+	bm, err := circuits.CommonSource(tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := faultParams(t, fault.SiteExtract+":error@1+")
+	res, err := Run(tech, bm, Optimized, p)
+	if err != nil {
+		t.Fatalf("run died instead of degrading: %v", err)
+	}
+	if len(res.Degraded) != len(bm.Insts) {
+		t.Fatalf("Degraded = %v, want all %d instances", res.Degraded, len(bm.Insts))
+	}
+	for what, why := range res.Degraded {
+		if !strings.Contains(why, "conventional fallback") {
+			t.Errorf("degradation %s: %q does not name the fallback", what, why)
+		}
+	}
+	if got := res.Metrics["ugf"]; got <= 0 {
+		t.Errorf("degraded run produced no metrics: ugf = %g", got)
+	}
+	if n := tr.Counter("flow.degraded").Value(); n != int64(len(bm.Insts)) {
+		t.Errorf("flow.degraded = %d, want %d", n, len(bm.Insts))
+	}
+	if n := tr.Counter("fault.injected").Value(); n == 0 {
+		t.Error("fault.injected counter missing")
+	}
+}
+
+// TestFlowRetryClearsOneShotFault: a fault firing exactly once is
+// absorbed by the single retry — no degradation, one flow.retries.
+func TestFlowRetryClearsOneShotFault(t *testing.T) {
+	tr := testTrace(t)
+	bm, err := circuits.CommonSource(tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := faultParams(t, fault.SiteExtract+":error@1")
+	res, err := Run(tech, bm, Optimized, p)
+	if err != nil {
+		t.Fatalf("run died on a one-shot fault: %v", err)
+	}
+	if len(res.Degraded) != 0 {
+		t.Errorf("Degraded = %v, want none (retry should clear)", res.Degraded)
+	}
+	if n := tr.Counter("flow.retries").Value(); n != 1 {
+		t.Errorf("flow.retries = %d, want 1", n)
+	}
+}
+
+// TestFlowPanicFaultDegrades: a panic-mode fault inside the primitive
+// pipeline is recovered and follows the same degradation ladder.
+func TestFlowPanicFaultDegrades(t *testing.T) {
+	testTrace(t)
+	bm, err := circuits.CommonSource(tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := faultParams(t, fault.SiteExtract+":panic@1+")
+	res, err := Run(tech, bm, Optimized, p)
+	if err != nil {
+		t.Fatalf("run died on a recovered panic: %v", err)
+	}
+	if len(res.Degraded) == 0 {
+		t.Error("panic fault produced no degradation record")
+	}
+}
+
+// TestFlowRouteFaultDegradesNet: an injected per-net routing failure
+// records a net:<name> degradation and the run still completes.
+func TestFlowRouteFaultDegradesNet(t *testing.T) {
+	testTrace(t)
+	bm, err := circuits.CommonSource(tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := faultParams(t, fault.SiteRouteNet+":error@1")
+	res, err := Run(tech, bm, Conventional, p)
+	if err != nil {
+		t.Fatalf("run died on a per-net routing failure: %v", err)
+	}
+	found := false
+	for what := range res.Degraded {
+		if strings.HasPrefix(what, "net:") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Degraded = %v, want a net:* entry", res.Degraded)
+	}
+}
+
+// TestVerifyRejectsInjectedRouteFailure: the same fault surfaces as a
+// route_failed violation through the verification path.
+func TestVerifyRejectsInjectedRouteFailure(t *testing.T) {
+	testTrace(t)
+	bm, err := circuits.CommonSource(tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := faultParams(t, fault.SiteRouteNet+":error@1")
+	rep, err := Verify(tech, bm, Conventional, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Rule == verify.RuleRouteFailed {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no route_failed violation in %+v", rep.Violations)
+	}
+}
+
+// TestFlowStageTimeout: a vanishing per-stage deadline fails the run
+// with the deadline error — promptly, not by hanging.
+func TestFlowStageTimeout(t *testing.T) {
+	testTrace(t)
+	bm, err := circuits.CommonSource(tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fastParams()
+	p.StageTimeout = time.Nanosecond
+	start := time.Now()
+	_, err = Run(tech, bm, Conventional, p)
+	if err == nil {
+		t.Fatal("run succeeded under a 1ns stage deadline")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want DeadlineExceeded in the chain", err)
+	}
+	if el := time.Since(start); el > 30*time.Second {
+		t.Errorf("timeout took %v to surface", el)
+	}
+}
+
+// TestFlowFingerprintUnchangedByDisabledRuntime: the fingerprint
+// guarantee — a run with no armed faults and a generous deadline is
+// identical (exact float equality, same placement, same routing) to
+// the plain run, so the robustness machinery costs nothing when off.
+func TestFlowFingerprintUnchangedByDisabledRuntime(t *testing.T) {
+	bm, err := circuits.CommonSource(tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(tech, bm, Optimized, fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Armed-but-never-firing injector plus a huge stage deadline.
+	p := faultParams(t, fault.SiteRouteNet+":error@1000000")
+	p.StageTimeout = time.Hour
+	guarded, err := RunContext(context.Background(), tech, bm, Optimized, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Metrics) == 0 {
+		t.Fatal("no metrics to compare")
+	}
+	for k, v := range base.Metrics {
+		if gv := guarded.Metrics[k]; gv != v {
+			t.Errorf("metric %s: %v vs %v (must be bit-identical)", k, v, gv)
+		}
+	}
+	if base.Sims != guarded.Sims {
+		t.Errorf("sims: %d vs %d", base.Sims, guarded.Sims)
+	}
+	for name, r := range base.Placement.Pos {
+		if gr := guarded.Placement.Pos[name]; gr != r {
+			t.Errorf("placement %s: %v vs %v", name, r, gr)
+		}
+	}
+	for name, nr := range base.Routing.Nets {
+		gnr := guarded.Routing.Nets[name]
+		if gnr == nil || gnr.TotalLength() != nr.TotalLength() || gnr.Vias != nr.Vias {
+			t.Errorf("routing %s differs", name)
+		}
+	}
+	if len(guarded.Degraded) != 0 {
+		t.Errorf("Degraded = %v on a healthy run", guarded.Degraded)
+	}
+}

@@ -19,6 +19,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -29,6 +30,7 @@ import (
 	"primopt/internal/circuits"
 	"primopt/internal/cost"
 	"primopt/internal/extract"
+	"primopt/internal/fault"
 	"primopt/internal/geom"
 	"primopt/internal/obs"
 	"primopt/internal/optimize"
@@ -93,6 +95,31 @@ type Params struct {
 	// Tracing is strictly passive — traced and untraced runs produce
 	// byte-identical layouts.
 	Trace *obs.Trace
+	// StageTimeout, when positive, bounds each flow stage (schematic
+	// OP, primitive optimization, placement, routing, evaluation) with
+	// its own deadline derived from the run context.
+	StageTimeout time.Duration
+	// Fault, when set, arms this run's deterministic fault-injection
+	// sites (tests and the -fault-spec flag install one). Nil is the
+	// zero-cost disabled path.
+	Fault *fault.Injector
+}
+
+// bind installs the run's fault injector into ctx.
+func (p Params) bind(ctx context.Context) context.Context {
+	if p.Fault != nil {
+		return fault.With(ctx, p.Fault)
+	}
+	return ctx
+}
+
+// stage derives the bounded context for one flow stage. The returned
+// cancel must be called when the stage ends.
+func (p Params) stage(ctx context.Context) (context.Context, context.CancelFunc) {
+	if p.StageTimeout > 0 {
+		return context.WithTimeout(ctx, p.StageTimeout)
+	}
+	return context.WithCancel(ctx)
 }
 
 // trace resolves the observability sink for this run.
@@ -120,6 +147,20 @@ type Result struct {
 	// Verify holds the DRC/LVS report when verification ran
 	// (Params.Verify.Mode != VerifyOff).
 	Verify *verify.Report
+	// Degraded maps a degraded element (an instance name, or "net:X"
+	// for a routing casualty) to the reason it fell down the
+	// graceful-degradation ladder. Empty on a fully healthy run.
+	Degraded map[string]string
+}
+
+// degrade records one graceful degradation on the result and counts
+// it on tr. Callers serialize access to the map.
+func (res *Result) degrade(tr *obs.Trace, what, why string) {
+	if res.Degraded == nil {
+		res.Degraded = map[string]string{}
+	}
+	res.Degraded[what] = why
+	tr.Counter("flow.degraded").Inc()
 }
 
 // chosen is the per-instance layout decision feeding assembly.
@@ -134,7 +175,17 @@ type chosen struct {
 
 // Run executes one methodology on a benchmark.
 func Run(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params) (*Result, error) {
+	return RunContext(context.Background(), t, bm, mode, p)
+}
+
+// RunContext is Run bound to a context: cancellation reaches every
+// solver inner loop (Newton, annealing bands, A* expansions), each
+// stage optionally runs under its own Params.StageTimeout deadline,
+// and Params.Fault (or an injector already on ctx) arms the
+// deterministic fault sites.
+func RunContext(ctx context.Context, t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params) (*Result, error) {
 	start := time.Now()
+	ctx = p.bind(ctx)
 	res := &Result{Mode: mode, Benchmark: bm.Name}
 	root := p.trace().Start("flow.run")
 	root.SetAttr("circuit", bm.Name)
@@ -144,12 +195,17 @@ func Run(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params) (*Result, err
 	defer func() {
 		res.Runtime = time.Since(start)
 		root.SetAttr("sims", res.Sims)
+		if len(res.Degraded) > 0 {
+			root.SetAttr("degraded", len(res.Degraded))
+		}
 		root.End()
 	}()
 
 	if mode == Schematic {
 		sp := root.Start("flow.eval")
-		vals, err := bm.Eval(t, bm.Schematic)
+		ectx, cancel := p.stage(ctx)
+		vals, err := bm.Eval(ectx, t, bm.Schematic)
+		cancel()
 		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("flow: %s schematic eval: %w", bm.Name, err)
@@ -158,7 +214,7 @@ func Run(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params) (*Result, err
 		return res, nil
 	}
 
-	choices, err := runLayout(t, bm, mode, p, res, root)
+	choices, err := runLayout(ctx, t, bm, mode, p, res, root)
 	if err != nil {
 		return nil, err
 	}
@@ -172,7 +228,9 @@ func Run(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params) (*Result, err
 	}
 	res.Netlist = nl
 	ev := root.Start("flow.eval")
-	vals, err := bm.Eval(t, nl)
+	ectx, cancel := p.stage(ctx)
+	vals, err := bm.Eval(ectx, t, nl)
+	cancel()
 	ev.End()
 	if err != nil {
 		return nil, fmt.Errorf("flow: %s post-layout eval (%v): %w", bm.Name, mode, err)
@@ -187,9 +245,12 @@ func Run(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params) (*Result, err
 // per-instance choices that feed assembly. Golden verification tests
 // call this directly to check geometry without paying for post-layout
 // simulation.
-func runLayout(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params, res *Result, root *obs.Span) (map[string]*chosen, error) {
+func runLayout(ctx context.Context, t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params, res *Result, root *obs.Span) (map[string]*chosen, error) {
+	ctx = p.bind(ctx)
 	sp := root.Start("flow.schematic_op")
-	op, err := bm.SchematicOP(t)
+	octx, ocancel := p.stage(ctx)
+	op, err := bm.SchematicOPCtx(octx, t)
+	ocancel()
 	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("flow: %s schematic OP: %w", bm.Name, err)
@@ -197,16 +258,19 @@ func runLayout(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params, res *Re
 
 	prsp := root.Start("flow.primitives")
 	prsp.SetAttr("n_insts", len(bm.Insts))
+	pctx, pcancel := p.stage(ctx)
 	var choices map[string]*chosen
 	switch mode {
 	case Conventional:
 		choices, err = conventionalChoices(t, bm, op, prsp)
 	case Optimized, Manual:
-		choices, err = optimizedChoices(t, bm, op, mode, p, res, prsp)
+		choices, err = optimizedChoices(pctx, t, bm, op, mode, p, res, prsp)
 	default:
+		pcancel()
 		prsp.End()
 		return nil, fmt.Errorf("flow: unknown mode %v", mode)
 	}
+	pcancel()
 	prsp.End()
 	if err != nil {
 		return nil, err
@@ -216,7 +280,9 @@ func runLayout(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params, res *Re
 	// variants so the placer can trade aspect ratios; Conventional
 	// and Manual have one variant each).
 	psp := root.Start("flow.place")
-	pl, err := runPlacement(bm, choices, res, p, psp)
+	plctx, plcancel := p.stage(ctx)
+	pl, err := runPlacement(plctx, bm, choices, res, p, psp)
+	plcancel()
 	psp.End()
 	if err != nil {
 		return nil, err
@@ -224,7 +290,9 @@ func runLayout(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params, res *Re
 
 	// Global routing between placed primitives.
 	rsp := root.Start("flow.route")
-	routing, err := runRouting(t, bm, pl, p, rsp)
+	rctx, rcancel := p.stage(ctx)
+	routing, err := runRouting(rctx, t, bm, pl, p, rsp)
+	rcancel()
 	if err == nil {
 		rsp.SetAttr("nets", len(routing.Nets))
 		rsp.SetAttr("overflow_edges", routing.OverflowEdges)
@@ -234,6 +302,15 @@ func runLayout(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params, res *Re
 		return nil, err
 	}
 	res.Routing = routing
+	// Per-net casualties degrade the run instead of killing it; the
+	// verification pass (warn lists, fail rejects) holds the gate.
+	for _, n := range routing.Failed {
+		why := "net failed to route"
+		if nr := routing.Nets[n]; nr != nil && nr.Err != "" {
+			why = nr.Err
+		}
+		res.degrade(p.trace(), "net:"+n, why)
+	}
 	attachRoutes(bm, choices, routing)
 
 	// Port optimization (Algorithm 2) for the optimizing modes;
@@ -345,6 +422,7 @@ func runVerification(t *pdk.Tech, bm *circuits.Benchmark, choices map[string]*ch
 		CellSize:  p.Route.CellSize,
 		MinLayer:  p.Route.MinLayer,
 	}, p.Verify.Options))
+	rep.Merge(verify.CheckRouteStatus(res.Routing))
 	res.Verify = rep
 	if p.Verify.Mode == VerifyFail && !rep.Clean() {
 		return fmt.Errorf("flow: %s: %s", bm.Name, rep.Summary())
@@ -358,6 +436,11 @@ func runVerification(t *pdk.Tech, bm *circuits.Benchmark, choices map[string]*ch
 // The report is returned (when available) even when the run errors,
 // so callers can print what was found before a VerifyFail abort.
 func Verify(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params) (*verify.Report, error) {
+	return VerifyContext(context.Background(), t, bm, mode, p)
+}
+
+// VerifyContext is Verify bound to a context (see RunContext).
+func VerifyContext(ctx context.Context, t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params) (*verify.Report, error) {
 	if mode == Schematic {
 		return nil, fmt.Errorf("flow: schematic mode has no layout to verify")
 	}
@@ -370,7 +453,7 @@ func Verify(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params) (*verify.R
 	root.SetAttr("mode", mode.String())
 	root.SetAttr("verify_only", true)
 	defer root.End()
-	if _, err := runLayout(t, bm, mode, p, res, root); err != nil {
+	if _, err := runLayout(ctx, t, bm, mode, p, res, root); err != nil {
 		return res.Verify, err
 	}
 	return res.Verify, nil
@@ -384,32 +467,41 @@ func conventionalChoices(t *pdk.Tech, bm *circuits.Benchmark, op *spice.OPResult
 		ps := sp.Start("flow.prim")
 		ps.SetAttr("inst", in.Name)
 		ps.SetAttr("kind", in.Kind)
-		entry, err := primlib.Lookup(in.Kind)
+		ch, configs, err := conventionalChoice(t, in, op)
 		if err != nil {
 			ps.End()
 			return nil, err
 		}
-		lays, err := entry.FindLayouts(t, in.Sizing, nil)
-		if err != nil {
-			ps.End()
-			return nil, fmt.Errorf("flow: conventional %s: %w", in.Name, err)
-		}
-		best, err := mostCompact(lays)
-		if err != nil {
-			ps.End()
-			return nil, fmt.Errorf("flow: conventional %s (%s, %d fins): %w",
-				in.Name, in.Kind, in.Sizing.TotalFins, err)
-		}
-		ex, err := extract.Primitive(t, best)
-		if err != nil {
-			ps.End()
-			return nil, err
-		}
-		ps.SetAttr("configs", len(lays))
+		ps.SetAttr("configs", configs)
 		ps.End()
-		out[in.Name] = &chosen{inst: in, entry: entry, bias: in.Bias(op), ex: ex}
+		out[in.Name] = ch
 	}
 	return out, nil
+}
+
+// conventionalChoice builds one instance's geometric-only candidate:
+// the most compact legal configuration, extracted. It is both the
+// Conventional mode's selection and the graceful-degradation fallback
+// when Algorithm 1 fails for an instance.
+func conventionalChoice(t *pdk.Tech, in *circuits.Inst, op *spice.OPResult) (*chosen, int, error) {
+	entry, err := primlib.Lookup(in.Kind)
+	if err != nil {
+		return nil, 0, err
+	}
+	lays, err := entry.FindLayouts(t, in.Sizing, nil)
+	if err != nil {
+		return nil, 0, fmt.Errorf("flow: conventional %s: %w", in.Name, err)
+	}
+	best, err := mostCompact(lays)
+	if err != nil {
+		return nil, 0, fmt.Errorf("flow: conventional %s (%s, %d fins): %w",
+			in.Name, in.Kind, in.Sizing.TotalFins, err)
+	}
+	ex, err := extract.Primitive(t, best)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &chosen{inst: in, entry: entry, bias: in.Bias(op), ex: ex}, len(lays), nil
 }
 
 // mostCompact returns the smallest-area layout of a configuration
@@ -430,10 +522,18 @@ func mostCompact(lays []*cellgen.Layout) (*cellgen.Layout, error) {
 
 // optimizedChoices runs Algorithm 1 per primitive (concurrently) and
 // takes each primitive's best tuned option; Manual widens the search.
-func optimizedChoices(t *pdk.Tech, bm *circuits.Benchmark, op *spice.OPResult,
+//
+// Per instance, failure walks a graceful-degradation ladder: the
+// optimization is retried once (transient faults clear), then the
+// instance falls back to its conventional (geometric-only) candidate
+// and is marked Degraded on the result — the flow survives with a
+// valid, if less optimal, layout. Cancellation is never retried or
+// degraded away, and a worker panic becomes that instance's error.
+func optimizedChoices(ctx context.Context, t *pdk.Tech, bm *circuits.Benchmark, op *spice.OPResult,
 	mode Mode, p Params, res *Result, sp *obs.Span) (map[string]*chosen, error) {
 	res.PrimResults = map[string]*optimize.Result{}
 	out := map[string]*chosen{}
+	tr := p.trace()
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	errs := make([]error, len(bm.Insts))
@@ -441,6 +541,12 @@ func optimizedChoices(t *pdk.Tech, bm *circuits.Benchmark, op *spice.OPResult,
 		wg.Add(1)
 		go func(i int, in *circuits.Inst) {
 			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					tr.Counter("flow.prim_panics").Inc()
+					errs[i] = fmt.Errorf("flow: optimizing %s: recovered panic: %v", in.Name, rec)
+				}
+			}()
 			ps := sp.Start("flow.prim")
 			defer ps.End()
 			ps.SetAttr("inst", in.Name)
@@ -461,20 +567,48 @@ func optimizedChoices(t *pdk.Tech, bm *circuits.Benchmark, op *spice.OPResult,
 					op1.MaxWires = 10
 				}
 			}
-			r, err := optimize.Optimize(t, entry, in.Sizing, in.Bias(op), op1)
-			if err != nil {
+			attempt := func() (r *optimize.Result, err error) {
+				defer func() {
+					if rec := recover(); rec != nil {
+						err = fmt.Errorf("recovered panic: %v", rec)
+					}
+				}()
+				return optimize.OptimizeCtx(ctx, t, entry, in.Sizing, in.Bias(op), op1)
+			}
+			r, err := attempt()
+			if err != nil && ctx.Err() == nil {
+				// Rung 1: retry once — an injected or transient fault
+				// at a specific hit count clears on the second pass.
+				tr.Counter("flow.retries").Inc()
+				ps.SetAttr("retried", true)
+				r, err = attempt()
+			}
+			if err == nil {
+				if best := r.Best(); best != nil {
+					mu.Lock()
+					res.PrimResults[in.Name] = r
+					res.Sims += r.TotalSims()
+					out[in.Name] = &chosen{inst: in, entry: entry, bias: r.Bias, ex: best.Ex, metrics: r.Metrics}
+					mu.Unlock()
+					return
+				}
+				err = fmt.Errorf("produced no options")
+			}
+			if ctx.Err() != nil {
+				// Deadline/cancellation is terminal, not degradable.
 				errs[i] = fmt.Errorf("flow: optimizing %s: %w", in.Name, err)
 				return
 			}
-			best := r.Best()
-			if best == nil {
-				errs[i] = fmt.Errorf("flow: %s produced no options", in.Name)
+			// Rung 2: fall back to the conventional candidate.
+			ch, _, ferr := conventionalChoice(t, in, op)
+			if ferr != nil {
+				errs[i] = fmt.Errorf("flow: optimizing %s: %w (conventional fallback also failed: %v)", in.Name, err, ferr)
 				return
 			}
+			ps.SetAttr("degraded", true)
 			mu.Lock()
-			res.PrimResults[in.Name] = r
-			res.Sims += r.TotalSims()
-			out[in.Name] = &chosen{inst: in, entry: entry, bias: r.Bias, ex: best.Ex, metrics: r.Metrics}
+			res.degrade(tr, in.Name, "optimize failed, conventional fallback: "+err.Error())
+			out[in.Name] = ch
 			mu.Unlock()
 		}(i, in)
 	}
@@ -507,7 +641,7 @@ func primMetrics(t *pdk.Tech, ch *chosen) ([]cost.Metric, error) {
 
 // runPlacement builds placement blocks from the choices. Variants for
 // the optimizing modes come from each primitive's selected options.
-func runPlacement(bm *circuits.Benchmark, choices map[string]*chosen, res *Result, p Params, sp *obs.Span) (*place.Placement, error) {
+func runPlacement(ctx context.Context, bm *circuits.Benchmark, choices map[string]*chosen, res *Result, p Params, sp *obs.Span) (*place.Placement, error) {
 	var blocks []place.Block
 	for _, name := range sortedKeys(choices) {
 		ch := choices[name]
@@ -567,7 +701,7 @@ func runPlacement(bm *circuits.Benchmark, choices map[string]*chosen, res *Resul
 	if pp.Workers == 0 {
 		pp.Workers = p.Optimize.Workers
 	}
-	pl, err := place.Place(blocks, nets, sym, pp)
+	pl, err := place.PlaceCtx(ctx, blocks, nets, sym, pp)
 	if err != nil {
 		return nil, fmt.Errorf("flow: placement: %w", err)
 	}
@@ -599,7 +733,7 @@ func routeRegion(pl *place.Placement) geom.Rect {
 }
 
 // runRouting routes the benchmark's signal nets over the placement.
-func runRouting(t *pdk.Tech, bm *circuits.Benchmark, pl *place.Placement, p Params, sp *obs.Span) (*route.Result, error) {
+func runRouting(ctx context.Context, t *pdk.Tech, bm *circuits.Benchmark, pl *place.Placement, p Params, sp *obs.Span) (*route.Result, error) {
 	region := routeRegion(pl)
 	var reqs []route.NetReq
 	for _, netName := range bm.RoutedNets {
@@ -627,7 +761,7 @@ func runRouting(t *pdk.Tech, bm *circuits.Benchmark, pl *place.Placement, p Para
 	}
 	rp := p.Route
 	rp.Obs = sp
-	return route.Route(t, region, reqs, rp)
+	return route.RouteCtx(ctx, t, region, reqs, rp)
 }
 
 // attachRoutes converts per-net routing geometry into per-instance
@@ -688,7 +822,14 @@ func sortedKeys(m map[string]*chosen) []string {
 // wires — the "narrow" (n=1) and "wide" (large n) corners of the
 // paper's Fig. 2 trade-off.
 func RunFixedWires(t *pdk.Tech, bm *circuits.Benchmark, n int, p Params) (*Result, error) {
+	return RunFixedWiresContext(context.Background(), t, bm, n, p)
+}
+
+// RunFixedWiresContext is RunFixedWires bound to a context (see
+// RunContext).
+func RunFixedWiresContext(ctx context.Context, t *pdk.Tech, bm *circuits.Benchmark, n int, p Params) (*Result, error) {
 	start := time.Now()
+	ctx = p.bind(ctx)
 	res := &Result{Mode: Conventional, Benchmark: bm.Name}
 	if n < 1 {
 		n = 1
@@ -704,7 +845,9 @@ func RunFixedWires(t *pdk.Tech, bm *circuits.Benchmark, n int, p Params) (*Resul
 	}()
 
 	sp := root.Start("flow.schematic_op")
-	op, err := bm.SchematicOP(t)
+	octx, ocancel := p.stage(ctx)
+	op, err := bm.SchematicOPCtx(octx, t)
+	ocancel()
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -731,13 +874,17 @@ func RunFixedWires(t *pdk.Tech, bm *circuits.Benchmark, n int, p Params) (*Resul
 	}
 	prsp.End()
 	psp := root.Start("flow.place")
-	pl, err := runPlacement(bm, choices, res, p, psp)
+	plctx, plcancel := p.stage(ctx)
+	pl, err := runPlacement(plctx, bm, choices, res, p, psp)
+	plcancel()
 	psp.End()
 	if err != nil {
 		return nil, err
 	}
 	rsp := root.Start("flow.route")
-	routing, err := runRouting(t, bm, pl, p, rsp)
+	rctx, rcancel := p.stage(ctx)
+	routing, err := runRouting(rctx, t, bm, pl, p, rsp)
+	rcancel()
 	if err == nil {
 		rsp.SetAttr("nets", len(routing.Nets))
 		rsp.SetAttr("overflow_edges", routing.OverflowEdges)
@@ -764,7 +911,9 @@ func RunFixedWires(t *pdk.Tech, bm *circuits.Benchmark, n int, p Params) (*Resul
 	}
 	res.Netlist = nl
 	ev := root.Start("flow.eval")
-	vals, err := bm.Eval(t, nl)
+	ectx, ecancel := p.stage(ctx)
+	vals, err := bm.Eval(ectx, t, nl)
+	ecancel()
 	ev.End()
 	if err != nil {
 		return nil, fmt.Errorf("flow: %s fixed-wires eval: %w", bm.Name, err)

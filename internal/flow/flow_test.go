@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -171,7 +172,7 @@ func TestAssembleStructure(t *testing.T) {
 		t.Error("source chain resistors missing")
 	}
 	// It still simulates.
-	if _, err := bm.Eval(tech, nl); err != nil {
+	if _, err := bm.Eval(context.Background(), tech, nl); err != nil {
 		t.Fatalf("assembled netlist broken: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -180,7 +181,7 @@ func TestSpliceCascodePair(t *testing.T) {
 		}},
 		MetricOrder: []string{},
 		MetricUnit:  map[string]string{},
-		Eval: func(tech2 *pdk.Tech, nl *circuit.Netlist) (map[string]float64, error) {
+		Eval: func(_ context.Context, tech2 *pdk.Tech, nl *circuit.Netlist) (map[string]float64, error) {
 			return map[string]float64{}, nil
 		},
 	}

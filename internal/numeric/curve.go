@@ -9,10 +9,12 @@ import "math"
 // little. Sample points are the integer wire counts 1, 2, 3, ...
 
 // ArgMin returns the index of the smallest value in ys (first on ties)
-// and that value. It panics on an empty slice.
+// and that value. An empty slice yields (-1, NaN) rather than
+// panicking; callers that cannot see an empty input may ignore the
+// sentinel.
 func ArgMin(ys []float64) (int, float64) {
 	if len(ys) == 0 {
-		panic("numeric: ArgMin of empty slice")
+		return -1, math.NaN()
 	}
 	bi, bv := 0, ys[0]
 	for i, v := range ys[1:] {

@@ -17,13 +17,11 @@ func TestArgMin(t *testing.T) {
 	}
 }
 
-func TestArgMinPanicsEmpty(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("ArgMin(nil) did not panic")
-		}
-	}()
-	ArgMin(nil)
+func TestArgMinEmpty(t *testing.T) {
+	i, v := ArgMin(nil)
+	if i != -1 || !math.IsNaN(v) {
+		t.Fatalf("ArgMin(nil) = (%d, %g), want (-1, NaN)", i, v)
+	}
 }
 
 func TestIsMonotoneDecreasing(t *testing.T) {

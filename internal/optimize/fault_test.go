@@ -1,0 +1,69 @@
+package optimize
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"primopt/internal/fault"
+	"primopt/internal/obs"
+)
+
+// TestGuardConvertsPanics: the worker-pool guard converts panics to
+// labeled errors and counts them, while passing errors through.
+func TestGuardConvertsPanics(t *testing.T) {
+	tr := obs.New()
+	err := guard(tr, "unit test", func() error { panic("boom") })
+	if err == nil || !strings.Contains(err.Error(), "unit test") ||
+		!strings.Contains(err.Error(), "boom") {
+		t.Errorf("err = %v, want labeled recovered panic", err)
+	}
+	if n := tr.Counter("optimize.worker_panics").Value(); n != 1 {
+		t.Errorf("optimize.worker_panics = %d, want 1", n)
+	}
+
+	sentinel := errors.New("plain failure")
+	if err := guard(tr, "x", func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Errorf("guard altered a plain error: %v", err)
+	}
+	if err := guard(tr, "x", func() error { return nil }); err != nil {
+		t.Errorf("guard invented an error: %v", err)
+	}
+	// A panic with an error value stays unwrappable.
+	werr := guard(tr, "x", func() error { panic(sentinel) })
+	if !errors.Is(werr, sentinel) {
+		t.Errorf("error-valued panic not unwrappable: %v", werr)
+	}
+}
+
+// TestOptimizeExtractFaultFailsCleanly: an armed extract site makes
+// OptimizeCtx fail with a structured injected error (the flow layer
+// above then degrades to the conventional candidate).
+func TestOptimizeExtractFaultFailsCleanly(t *testing.T) {
+	e, sz, bias := dpSetup()
+	inj, err := fault.New(1, fault.SiteExtract+":error@1+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := fault.With(context.Background(), inj)
+	_, err = OptimizeCtx(ctx, tech, e, sz, bias, Params{Bins: 2, MaxWires: 4, Cons: smallCons()})
+	if err == nil {
+		t.Fatal("Optimize succeeded with extraction failing everywhere")
+	}
+	if !fault.IsInjected(err) {
+		t.Errorf("err = %v, want the injected fault in the chain", err)
+	}
+}
+
+// TestOptimizeCancellation: a dead context aborts before any SPICE
+// work with the context error.
+func TestOptimizeCancellation(t *testing.T) {
+	e, sz, bias := dpSetup()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := OptimizeCtx(ctx, tech, e, sz, bias, Params{Bins: 2, MaxWires: 4, Cons: smallCons()})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}

@@ -24,6 +24,7 @@
 package optimize
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -33,6 +34,7 @@ import (
 	"primopt/internal/cost"
 	"primopt/internal/evcache"
 	"primopt/internal/extract"
+	"primopt/internal/fault"
 	"primopt/internal/numeric"
 	"primopt/internal/obs"
 	"primopt/internal/pdk"
@@ -128,6 +130,13 @@ func (r *Result) Best() *Option {
 
 // Optimize runs Algorithm 1.
 func Optimize(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bias, p Params) (*Result, error) {
+	return OptimizeCtx(context.Background(), t, e, sz, bias, p)
+}
+
+// OptimizeCtx is Optimize bound to a context: every SPICE evaluation
+// underneath polls ctx for cancellation, and the context's fault
+// injector arms the extract/spice/evcache fault sites.
+func OptimizeCtx(ctx context.Context, t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bias, p Params) (*Result, error) {
 	p = p.withDefaults()
 	res := &Result{Entry: e, Sizing: sz, Bias: bias}
 	tr := p.Obs.Trace()
@@ -145,7 +154,7 @@ func Optimize(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bia
 		et.record(schKey)
 	}
 	schCompute := func() (*evcache.Entry, error) {
-		ev, err := e.Evaluate(t, sz, bias, nil, nil)
+		ev, err := e.EvaluateCtx(ctx, t, sz, bias, nil, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -154,7 +163,7 @@ func Optimize(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bia
 	var schEnt *evcache.Entry
 	var err error
 	if p.Cache != nil {
-		schEnt, err = p.Cache.Do(tr, schKey, schCompute)
+		schEnt, err = p.Cache.DoCtx(ctx, tr, schKey, schCompute)
 	} else {
 		schEnt, err = schCompute()
 	}
@@ -171,6 +180,7 @@ func Optimize(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bia
 	res.Metrics = metrics
 
 	env := &evalEnv{
+		ctx: ctx, inj: fault.From(ctx),
 		t: t, e: e, sz: sz, bias: bias, metrics: metrics,
 		et: et, cache: p.Cache, tr: tr,
 		sem: make(chan struct{}, p.Workers),
@@ -189,12 +199,14 @@ func Optimize(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bia
 		wg.Add(1)
 		go func(i int, lay *cellgen.Layout) {
 			defer wg.Done()
-			opt, err := env.eval(lay)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			opts[i] = *opt
+			errs[i] = guard(tr, "selection config "+lay.Config.ID(), func() error {
+				opt, err := env.eval(lay)
+				if err != nil {
+					return err
+				}
+				opts[i] = *opt
+				return nil
+			})
 		}(i, lay)
 	}
 	wg.Wait()
@@ -248,7 +260,11 @@ func Optimize(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bia
 		twg.Add(1)
 		go func(i int) {
 			defer twg.Done()
-			tuneSims[i], tuneErrs[i] = tuneOption(env, &selected[i], p)
+			tuneErrs[i] = guard(tr, "tuning "+selected[i].Layout.Config.ID(), func() error {
+				var err error
+				tuneSims[i], err = tuneOption(env, &selected[i], p)
+				return err
+			})
 		}(i)
 	}
 	twg.Wait()
@@ -281,6 +297,8 @@ func Optimize(t *pdk.Tech, e *primlib.Entry, sz primlib.Sizing, bias primlib.Bia
 // parallelism (selection, per-option tuning, joint-sweep fan-out)
 // cannot deadlock.
 type evalEnv struct {
+	ctx     context.Context
+	inj     *fault.Injector
 	t       *pdk.Tech
 	e       *primlib.Entry
 	sz      primlib.Sizing
@@ -292,22 +310,39 @@ type evalEnv struct {
 	sem     chan struct{}
 }
 
+// context returns the env's context, defaulting to Background so a
+// directly-constructed env (tests) behaves like an unbound Optimize.
+func (env *evalEnv) context() context.Context {
+	if env.ctx == nil {
+		return context.Background()
+	}
+	return env.ctx
+}
+
 // eval extracts and simulates one layout configuration, through the
 // cache when one is installed. The compute path reads lay's current
 // wire state, which matches the key because each caller owns its
 // layout (selection layouts are per-goroutine, tuning works on
 // clones).
 func (env *evalEnv) eval(lay *cellgen.Layout) (*Option, error) {
+	ctx := env.context()
 	key := evcache.Key(env.e.Kind, env.sz, env.bias, lay)
 	env.et.record(key)
 	compute := func() (*evcache.Entry, error) {
-		env.sem <- struct{}{}
+		select {
+		case env.sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 		defer func() { <-env.sem }()
+		if err := env.inj.Hit(fault.SiteExtract); err != nil {
+			return nil, fmt.Errorf("extract %s: %w", lay.Config.ID(), err)
+		}
 		ex, err := extract.Primitive(env.t, lay)
 		if err != nil {
 			return nil, err
 		}
-		ev, err := env.e.Evaluate(env.t, env.sz, env.bias, ex, nil)
+		ev, err := env.e.EvaluateCtx(ctx, env.t, env.sz, env.bias, ex, nil)
 		if err != nil {
 			return nil, fmt.Errorf("config %s: %w", lay.Config.ID(), err)
 		}
@@ -320,7 +355,7 @@ func (env *evalEnv) eval(lay *cellgen.Layout) (*Option, error) {
 	var ent *evcache.Entry
 	var err error
 	if env.cache != nil {
-		ent, err = env.cache.Do(env.tr, key, compute)
+		ent, err = env.cache.DoCtx(ctx, env.tr, key, compute)
 	} else {
 		ent, err = compute()
 	}
@@ -574,17 +609,19 @@ func sweepJoint(env *evalEnv, lay *cellgen.Layout, group []primlib.TuningTerm, m
 		wg.Add(1)
 		go func(ci int, combo []int) {
 			defer wg.Done()
-			work := lay.Clone()
-			for gi, tt := range group {
-				setWires(work, tt, combo[gi])
-			}
-			opt, err := env.eval(work)
-			if err != nil {
-				errs[ci] = err
-				return
-			}
-			comboSims[ci] = opt.Eval.Sims
-			costs[ci] = opt.Cost
+			errs[ci] = guard(env.tr, fmt.Sprintf("joint sweep %v", combo), func() error {
+				work := lay.Clone()
+				for gi, tt := range group {
+					setWires(work, tt, combo[gi])
+				}
+				opt, err := env.eval(work)
+				if err != nil {
+					return err
+				}
+				comboSims[ci] = opt.Eval.Sims
+				costs[ci] = opt.Cost
+				return nil
+			})
 		}(ci, combo)
 	}
 	wg.Wait()
@@ -605,4 +642,23 @@ func sweepJoint(env *evalEnv, lay *cellgen.Layout, group []primlib.TuningTerm, m
 		setWires(lay, tt, combos[best][gi])
 	}
 	return sims, nil
+}
+
+// guard runs one worker task and converts a panic into that task's
+// error, so a crash in a single evaluation fails its task (and is
+// counted) instead of killing the process. An injected fault panic
+// keeps its identity through the wrap, so fault.IsInjected still
+// recognizes it upstream.
+func guard(tr *obs.Trace, label string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			tr.Counter("optimize.worker_panics").Inc()
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("optimize: %s: recovered panic: %w", label, e)
+			} else {
+				err = fmt.Errorf("optimize: %s: recovered panic: %v", label, r)
+			}
+		}
+	}()
+	return fn()
 }

@@ -18,12 +18,14 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
 	"sync"
 
+	"primopt/internal/fault"
 	"primopt/internal/geom"
 	"primopt/internal/obs"
 )
@@ -149,6 +151,15 @@ type Placement struct {
 
 // Place runs the annealer and returns the best placement found.
 func Place(blocks []Block, nets []Net, sym []SymPair, p Params) (*Placement, error) {
+	return PlaceCtx(context.Background(), blocks, nets, sym, p)
+}
+
+// PlaceCtx is Place bound to a context. Each replica polls ctx once
+// per temperature band, so cancellation surfaces within one band of
+// moves; a replica that panics or is fault-injected fails alone and
+// is excluded from the deterministic reduction (all replicas failing
+// fails the placement).
+func PlaceCtx(ctx context.Context, blocks []Block, nets []Net, sym []SymPair, p Params) (*Placement, error) {
 	if len(blocks) == 0 {
 		return nil, fmt.Errorf("place: no blocks")
 	}
@@ -194,6 +205,7 @@ func Place(blocks []Block, nets []Net, sym []SymPair, p Params) (*Placement, err
 	// Fan the replicas out under the worker pool. Every replica is
 	// fully deterministic given its derived seed, and the reduction
 	// below is order-free, so worker count never changes the result.
+	inj := fault.From(ctx)
 	results := make([]replicaResult, p.Replicas)
 	sem := make(chan struct{}, p.Workers)
 	var wg sync.WaitGroup
@@ -203,20 +215,41 @@ func Place(blocks []Block, nets []Net, sym []SymPair, p Params) (*Placement, err
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[r] = runReplica(st, r, p, tr, sp)
+			results[r] = safeReplica(ctx, inj, st, r, p, tr, sp)
 		}(r)
 	}
 	wg.Wait()
 	tr.Counter("place.replicas").Add(int64(p.Replicas))
 	tr.Counter("place.anneal.runs").Inc()
 
-	// Deterministic reduction: minimum best cost, ties to the lowest
-	// replica index (strict < keeps the earlier winner).
-	winner := 0
-	for r := 1; r < p.Replicas; r++ {
-		if results[r].best < results[winner].best {
+	// Deterministic reduction: minimum best cost among the healthy
+	// replicas, ties to the lowest replica index (strict < keeps the
+	// earlier winner). Failed replicas are excluded — the survivors'
+	// outcomes are unchanged by the failures, so a fault-injected or
+	// panicked chain degrades multi-start quality without perturbing
+	// determinism. Every replica failing fails the placement.
+	winner := -1
+	failed := 0
+	var firstErr error
+	for r := 0; r < p.Replicas; r++ {
+		if results[r].err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("replica %d: %w", r, results[r].err)
+			}
+			continue
+		}
+		if winner < 0 || results[r].best < results[winner].best {
 			winner = r
 		}
+	}
+	if failed > 0 {
+		tr.Counter("place.replica_failures").Add(int64(failed))
+		sp.SetAttr("failed_replicas", failed)
+	}
+	if winner < 0 {
+		sp.End()
+		return nil, fmt.Errorf("place: all %d replicas failed: %w", p.Replicas, firstErr)
 	}
 	win := results[winner]
 	tr.Gauge("place.anneal.best_cost").Set(win.best)
@@ -229,16 +262,39 @@ func Place(blocks []Block, nets []Net, sym []SymPair, p Params) (*Placement, err
 	return st.placement(), nil
 }
 
-// replicaResult is one chain's outcome entering the reduction.
+// replicaResult is one chain's outcome entering the reduction. A
+// non-nil err marks a failed chain (panic, injected fault, or
+// cancellation) that the reduction must skip.
 type replicaResult struct {
 	best  float64
 	snap  snapshot
 	bands int
+	err   error
+}
+
+// safeReplica runs one replica with panic containment and the
+// place.replica fault site armed at its entry. A panicking chain
+// becomes that replica's error instead of killing the process.
+func safeReplica(ctx context.Context, inj *fault.Injector, template *state, r int, p Params, tr *obs.Trace, parent *obs.Span) (res replicaResult) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			tr.Counter("place.replica_panics").Inc()
+			if e, ok := rec.(error); ok {
+				res = replicaResult{err: fmt.Errorf("recovered panic: %w", e)}
+			} else {
+				res = replicaResult{err: fmt.Errorf("recovered panic: %v", rec)}
+			}
+		}
+	}()
+	if err := inj.Hit(fault.SitePlaceReplica); err != nil {
+		return replicaResult{err: err}
+	}
+	return runReplica(ctx, template, r, p, tr, parent)
 }
 
 // runReplica anneals one independently seeded chain on a private
 // clone of the shared topology.
-func runReplica(template *state, r int, p Params, tr *obs.Trace, parent *obs.Span) replicaResult {
+func runReplica(ctx context.Context, template *state, r int, p Params, tr *obs.Trace, parent *obs.Span) replicaResult {
 	seed := replicaSeed(p.Seed, r)
 	rng := rand.New(rand.NewSource(seed))
 	st := template.clone()
@@ -272,6 +328,13 @@ func runReplica(template *state, r int, p Params, tr *obs.Trace, parent *obs.Spa
 	// lengthen the schedule and a lucky downhill excursion truncate
 	// it.
 	for ; temp > best.cost*1e-4+1e-9; temp *= p.CoolingRate {
+		// Cancellation polls once per band — bounded staleness without
+		// a per-move branch on the hot path.
+		if err := ctx.Err(); err != nil {
+			rsp.SetAttr("canceled", true)
+			rsp.End()
+			return replicaResult{err: err}
+		}
 		accepted := 0
 		for it := 0; it < iters; it++ {
 			undo, changed := st.randomMove(rng, n)

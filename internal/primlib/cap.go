@@ -1,6 +1,7 @@
 package primlib
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -62,7 +63,7 @@ func capDesignC(lay *cellgen.Layout, sz Sizing) float64 {
 // evalCap measures the effective capacitance between the terminals
 // through the extracted lead RC, and the usable frequency (the RC
 // corner of the total lead resistance against the cap).
-func evalCap(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, ex *extract.Extracted,
+func evalCap(ctx context.Context, e *Entry, t *pdk.Tech, sz Sizing, bias Bias, ex *extract.Extracted,
 	routes map[string]extract.Route) (*Eval, error) {
 	ev := &Eval{Values: make(map[string]float64)}
 	var lay *cellgen.Layout
@@ -85,7 +86,7 @@ func evalCap(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, ex *extract.Extracted,
 	b.f(".ac dec 5 1e6 1e8")
 	b.f(".measure ac vre find vr(%s) at=%g", b.outer("d"), fCap)
 	b.f(".measure ac vim find vi(%s) at=%g", b.outer("d"), fCap)
-	res, err := run(t, b.String())
+	res, err := run(ctx, t, b.String())
 	if err != nil {
 		return nil, fmt.Errorf("momcap c testbench: %w", err)
 	}
@@ -105,7 +106,7 @@ func evalCap(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, ex *extract.Extracted,
 	b.f("rtb %s 0 1e-3", b.outer("s"))
 	b.f("ix 0 %s DC 1e-3", b.outer("d"))
 	b.f(".op")
-	res, err = run(t, b.String())
+	res, err = run(ctx, t, b.String())
 	if err != nil {
 		return nil, fmt.Errorf("momcap r testbench: %w", err)
 	}

@@ -1,6 +1,7 @@
 package primlib
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -51,7 +52,14 @@ func canonicalConfig(sz Sizing) cellgen.Config {
 // cellgen wire name) — the primitive port optimization view.
 func (e *Entry) Evaluate(t *pdk.Tech, sz Sizing, bias Bias, ex *extract.Extracted,
 	routes map[string]extract.Route) (*Eval, error) {
-	ev, err := e.evaluate(t, sz, bias, ex, routes)
+	return e.EvaluateCtx(context.Background(), t, sz, bias, ex, routes)
+}
+
+// EvaluateCtx is Evaluate bound to a context: the underlying SPICE
+// runs poll ctx for cancellation and honor its fault injector.
+func (e *Entry) EvaluateCtx(ctx context.Context, t *pdk.Tech, sz Sizing, bias Bias,
+	ex *extract.Extracted, routes map[string]extract.Route) (*Eval, error) {
+	ev, err := e.evaluate(ctx, t, sz, bias, ex, routes)
 	if tr := obs.Default(); tr.Enabled() {
 		if ex == nil {
 			tr.Counter("primlib.schematic_evals").Inc()
@@ -67,35 +75,35 @@ func (e *Entry) Evaluate(t *pdk.Tech, sz Sizing, bias Bias, ex *extract.Extracte
 	return ev, err
 }
 
-func (e *Entry) evaluate(t *pdk.Tech, sz Sizing, bias Bias, ex *extract.Extracted,
-	routes map[string]extract.Route) (*Eval, error) {
+func (e *Entry) evaluate(ctx context.Context, t *pdk.Tech, sz Sizing, bias Bias,
+	ex *extract.Extracted, routes map[string]extract.Route) (*Eval, error) {
 	cfg := canonicalConfig(sz)
 	if ex != nil {
 		cfg = ex.Layout.Config
 	}
 	switch e.Family {
 	case "diffpair":
-		return evalDiffPair(e, t, sz, bias, cfg, ex, routes)
+		return evalDiffPair(ctx, e, t, sz, bias, cfg, ex, routes)
 	case "diffpair_cascode":
-		return evalDiffPairCascode(e, t, sz, bias, cfg, ex, routes)
+		return evalDiffPairCascode(ctx, e, t, sz, bias, cfg, ex, routes)
 	case "cmirror":
-		return evalCMirror(e, t, sz, bias, cfg, ex, routes)
+		return evalCMirror(ctx, e, t, sz, bias, cfg, ex, routes)
 	case "csource":
-		return evalCSource(e, t, sz, bias, cfg, ex, routes)
+		return evalCSource(ctx, e, t, sz, bias, cfg, ex, routes)
 	case "csamp":
-		return evalCSAmp(e, t, sz, bias, cfg, ex, routes)
+		return evalCSAmp(ctx, e, t, sz, bias, cfg, ex, routes)
 	case "csinv":
-		return evalCSInv(e, t, sz, bias, cfg, ex, routes)
+		return evalCSInv(ctx, e, t, sz, bias, cfg, ex, routes)
 	case "cap":
 		if ex == nil {
 			return capSchematicEval(sz), nil
 		}
-		return evalCap(e, t, sz, bias, ex, routes)
+		return evalCap(ctx, e, t, sz, bias, ex, routes)
 	case "res":
 		if ex == nil {
 			return resSchematicEval(t, sz), nil
 		}
-		return evalRes(e, t, sz, bias, ex, routes)
+		return evalRes(ctx, e, t, sz, bias, ex, routes)
 	default:
 		return nil, fmt.Errorf("primlib: no evaluator for family %q", e.Family)
 	}
@@ -137,14 +145,14 @@ func Cost(metrics []cost.Metric, ev *Eval) (float64, []cost.Value, error) {
 	return cost.Total(vals), vals, nil
 }
 
-func run(t *pdk.Tech, deck string) (*spice.Results, error) {
-	res, _, err := spice.RunSource(t, deck)
+func run(ctx context.Context, t *pdk.Tech, deck string) (*spice.Results, error) {
+	res, _, err := spice.RunSourceCtx(ctx, t, deck)
 	return res, err
 }
 
 // --- differential pair family ---
 
-func evalDiffPair(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config,
+func evalDiffPair(ctx context.Context, e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config,
 	ex *extract.Extracted, routes map[string]extract.Route) (*Eval, error) {
 	ev := &Eval{Values: make(map[string]float64)}
 	// PMOS pairs (cross-coupled latch loads) mirror to the supply
@@ -183,7 +191,7 @@ func evalDiffPair(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Confi
 	tail(b)
 	b.f(".ac dec 5 1e5 1e7")
 	b.f(".measure ac gmhalf find i(vda) at=%g", fGm)
-	res, err := run(t, b.String())
+	res, err := run(ctx, t, b.String())
 	if err != nil {
 		return nil, fmt.Errorf("dp gm testbench: %w", err)
 	}
@@ -207,7 +215,7 @@ func evalDiffPair(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Confi
 	b.f(".ac dec 5 1e6 1e8")
 	b.f(".measure ac vre find vr(%s) at=%g", b.outer("d_a"), fCap)
 	b.f(".measure ac vim find vi(%s) at=%g", b.outer("d_a"), fCap)
-	res, err = run(t, b.String())
+	res, err = run(ctx, t, b.String())
 	if err != nil {
 		return nil, fmt.Errorf("dp ctotal testbench: %w", err)
 	}
@@ -232,7 +240,7 @@ func evalDiffPair(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Confi
 		b.f("vdb %s 0 DC %.6g", b.outer("d_b"), bias.VD)
 		tail(b)
 		b.f(".op")
-		res, err := run(t, b.String())
+		res, err := run(ctx, t, b.String())
 		if err != nil {
 			return 0, fmt.Errorf("dp offset testbench: %w", err)
 		}
@@ -264,7 +272,7 @@ func evalDiffPair(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Confi
 
 // --- current mirror family ---
 
-func evalCMirror(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config,
+func evalCMirror(ctx context.Context, e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config,
 	ex *extract.Extracted, routes map[string]extract.Route) (*Eval, error) {
 	ev := &Eval{Values: make(map[string]float64)}
 	isP := e.MOSType.String() == "PMOS"
@@ -314,7 +322,7 @@ func evalCMirror(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config
 		b.f("vout %s 0 DC %.6g", b.outer("d_b"), bias.VD)
 	}
 	b.f(".op")
-	res, err := run(t, b.String())
+	res, err := run(ctx, t, b.String())
 	if err != nil {
 		return nil, fmt.Errorf("cm ratio testbench: %w", err)
 	}
@@ -341,7 +349,7 @@ func evalCMirror(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config
 	b.f(".ac dec 5 1e6 1e8")
 	b.f(".measure ac vre find vr(%s) at=%g", b.outer("d_b"), fCap)
 	b.f(".measure ac vim find vi(%s) at=%g", b.outer("d_b"), fCap)
-	res, err = run(t, b.String())
+	res, err = run(ctx, t, b.String())
 	if err != nil {
 		return nil, fmt.Errorf("cm cout testbench: %w", err)
 	}
@@ -356,7 +364,7 @@ func evalCMirror(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config
 
 // --- current source / load family ---
 
-func evalCSource(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config,
+func evalCSource(ctx context.Context, e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config,
 	ex *extract.Extracted, routes map[string]extract.Route) (*Eval, error) {
 	ev := &Eval{Values: make(map[string]float64)}
 	isP := e.MOSType.String() == "PMOS"
@@ -377,7 +385,7 @@ func evalCSource(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config
 		return b
 	}
 	ivAt := func(vd float64) (float64, error) {
-		res, err := run(t, mk("cs current testbench", vd).String())
+		res, err := run(ctx, t, mk("cs current testbench", vd).String())
 		if err != nil {
 			return 0, fmt.Errorf("cs current testbench: %w", err)
 		}
@@ -412,7 +420,7 @@ func evalCSource(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config
 
 // --- common-source amplifier family ---
 
-func evalCSAmp(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config,
+func evalCSAmp(ctx context.Context, e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config,
 	ex *extract.Extracted, routes map[string]extract.Route) (*Eval, error) {
 	ev := &Eval{Values: make(map[string]float64)}
 
@@ -424,7 +432,7 @@ func evalCSAmp(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config,
 	b.f("vd %s 0 DC %.6g", b.outer("d"), bias.VD)
 	b.f(".ac dec 5 1e5 1e7")
 	b.f(".measure ac gmv find i(vd) at=%g", fGm)
-	res, err := run(t, b.String())
+	res, err := run(ctx, t, b.String())
 	if err != nil {
 		return nil, fmt.Errorf("cs gm testbench: %w", err)
 	}
@@ -439,7 +447,7 @@ func evalCSAmp(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config,
 		b.f("vg %s 0 DC %.6g", b.outer("g"), bias.VCM)
 		b.f("vd %s 0 DC %.9g", b.outer("d"), vd)
 		b.f(".op")
-		res, err := run(t, b.String())
+		res, err := run(ctx, t, b.String())
 		if err != nil {
 			return 0, fmt.Errorf("cs ro testbench: %w", err)
 		}
@@ -474,7 +482,7 @@ func evalCSAmp(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config,
 	b.f(".ac dec 5 1e6 1e8")
 	b.f(".measure ac vre find vr(%s) at=%g", b.outer("d"), fCap)
 	b.f(".measure ac vim find vi(%s) at=%g", b.outer("d"), fCap)
-	res, err = run(t, b.String())
+	res, err = run(ctx, t, b.String())
 	if err != nil {
 		return nil, fmt.Errorf("cs cout testbench: %w", err)
 	}
@@ -487,7 +495,7 @@ func evalCSAmp(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config,
 
 // --- current-starved inverter family ---
 
-func evalCSInv(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config,
+func evalCSInv(ctx context.Context, e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config,
 	ex *extract.Extracted, routes map[string]extract.Route) (*Eval, error) {
 	ev := &Eval{Values: make(map[string]float64)}
 	vdd := bias.Vdd
@@ -546,7 +554,7 @@ func evalCSInv(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config,
 	b.f(".measure tran tdr trig v(%s) val=%.6g fall=1 targ v(%s) val=%.6g rise=1",
 		b.outer("g_a"), mid, b.outer("d_a"), mid)
 	b.f(".measure tran iavg avg i(vdd) from=0.2n to=%.6g", 0.2e-9+per)
-	res, err := run(t, b.String())
+	res, err := run(ctx, t, b.String())
 	if err != nil {
 		return nil, fmt.Errorf("csinv delay testbench: %w", err)
 	}
@@ -562,7 +570,7 @@ func evalCSInv(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config,
 	}
 	b.f(".ac dec 5 1e5 1e7")
 	b.f(".measure ac av find vm(%s) at=1e6", b.outer("d_a"))
-	res, err = run(t, b.String())
+	res, err = run(ctx, t, b.String())
 	if err != nil {
 		return nil, fmt.Errorf("csinv gain testbench: %w", err)
 	}
@@ -579,7 +587,7 @@ func evalCSInv(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config,
 // it. The cascode isolates the input devices from the drain routes
 // (higher Rout, smaller Miller), which is exactly what the metric
 // comparison against the plain pair shows.
-func evalDiffPairCascode(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config,
+func evalDiffPairCascode(ctx context.Context, e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellgen.Config,
 	ex *extract.Extracted, routes map[string]extract.Route) (*Eval, error) {
 	ev := &Eval{Values: make(map[string]float64)}
 	vcasc := bias.VCasc
@@ -611,7 +619,7 @@ func evalDiffPairCascode(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellge
 	b.f("ita %s 0 DC %.6g", b.outer("s"), bias.ITail)
 	b.f(".ac dec 5 1e5 1e7")
 	b.f(".measure ac gmhalf find i(vda) at=%g", fGm)
-	res, err := run(t, b.String())
+	res, err := run(ctx, t, b.String())
 	if err != nil {
 		return nil, fmt.Errorf("cascode dp gm testbench: %w", err)
 	}
@@ -634,7 +642,7 @@ func evalDiffPairCascode(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellge
 	b.f(".ac dec 5 1e6 1e8")
 	b.f(".measure ac vre find vr(%s) at=%g", b.outer("d_a"), fCap)
 	b.f(".measure ac vim find vi(%s) at=%g", b.outer("d_a"), fCap)
-	res, err = run(t, b.String())
+	res, err = run(ctx, t, b.String())
 	if err != nil {
 		return nil, fmt.Errorf("cascode dp ctotal testbench: %w", err)
 	}
@@ -658,7 +666,7 @@ func evalDiffPairCascode(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, cfg cellge
 		b.f("vdb %s 0 DC %.6g", b.outer("d_b"), bias.VD)
 		b.f("ita %s 0 DC %.6g", b.outer("s"), bias.ITail)
 		b.f(".op")
-		res, err := run(t, b.String())
+		res, err := run(ctx, t, b.String())
 		if err != nil {
 			return 0, fmt.Errorf("cascode dp offset testbench: %w", err)
 		}

@@ -1,6 +1,7 @@
 package primlib
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -60,7 +61,7 @@ func resBodyC(t *pdk.Tech, lay *cellgen.Layout, sz Sizing) float64 {
 
 // evalRes measures the end-to-end resistance (poly body plus the
 // extracted lead resistance) and the total parasitic capacitance.
-func evalRes(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, ex *extract.Extracted,
+func evalRes(ctx context.Context, e *Entry, t *pdk.Tech, sz Sizing, bias Bias, ex *extract.Extracted,
 	routes map[string]extract.Route) (*Eval, error) {
 	ev := &Eval{Values: make(map[string]float64)}
 	var lay *cellgen.Layout
@@ -76,7 +77,7 @@ func evalRes(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, ex *extract.Extracted,
 	b.f("rtb %s 0 1e-3", b.outer("s"))
 	b.f("ix 0 %s DC 1e-3", b.outer("d"))
 	b.f(".op")
-	res, err := run(t, b.String())
+	res, err := run(ctx, t, b.String())
 	if err != nil {
 		return nil, fmt.Errorf("polyres r testbench: %w", err)
 	}
@@ -104,7 +105,7 @@ func evalRes(e *Entry, t *pdk.Tech, sz Sizing, bias Bias, ex *extract.Extracted,
 	b.f(".ac dec 5 1e6 1e8")
 	b.f(".measure ac vre find vr(%s) at=%g", b.outer("d"), fCap)
 	b.f(".measure ac vim find vi(%s) at=%g", b.outer("d"), fCap)
-	res, err = run(t, b.String())
+	res, err = run(ctx, t, b.String())
 	if err != nil {
 		return nil, fmt.Errorf("polyres c testbench: %w", err)
 	}

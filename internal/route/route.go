@@ -9,9 +9,11 @@ package route
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 
+	"primopt/internal/fault"
 	"primopt/internal/geom"
 	"primopt/internal/obs"
 	"primopt/internal/pdk"
@@ -43,6 +45,30 @@ type ViaPoint struct {
 	Lower pdk.Layer
 }
 
+// NetStatus classifies one net's routing outcome.
+type NetStatus int
+
+const (
+	// NetRouted is a cleanly routed net.
+	NetRouted NetStatus = iota
+	// NetOverflow marks a routed net that still uses at least one
+	// over-capacity gcell edge after the rip-up budget is spent.
+	NetOverflow
+	// NetFailed marks a net left without geometry (search failure or an
+	// injected fault that the rip-up retries did not clear).
+	NetFailed
+)
+
+func (s NetStatus) String() string {
+	switch s {
+	case NetOverflow:
+		return "overflow"
+	case NetFailed:
+		return "failed"
+	}
+	return "routed"
+}
+
 // NetRoute is the routing result for one net.
 type NetRoute struct {
 	Name          string
@@ -50,6 +76,10 @@ type NetRoute struct {
 	Vias          int
 	ViaPoints     []ViaPoint
 	Segments      []Segment
+	// Status classifies the outcome; Err carries the failure text for
+	// NetFailed nets.
+	Status NetStatus
+	Err    string
 }
 
 // TotalLength sums over layers.
@@ -87,6 +117,14 @@ type Params struct {
 	ViaCost float64
 	// CongestionCost scales the per-use edge penalty (default 2).
 	CongestionCost float64
+	// EdgeCapacity is the per-gcell-edge wire count above which an edge
+	// counts as overflowed (default 2, the historical threshold).
+	EdgeCapacity int
+	// MaxRipup bounds the rip-up-and-reroute rounds applied to
+	// overflowed or failed nets, with the congestion penalty doubling
+	// each round. Default 0 — disabled — so results stay byte-identical
+	// to the ladder-free router unless a caller opts in.
+	MaxRipup int
 	// Obs, when set, parents the per-net route.net spans; metrics
 	// fall back to obs.Default() when nil.
 	Obs *obs.Span
@@ -108,6 +146,9 @@ func (p Params) withDefaults(t *pdk.Tech) Params {
 	if p.CongestionCost <= 0 {
 		p.CongestionCost = 2
 	}
+	if p.EdgeCapacity <= 0 {
+		p.EdgeCapacity = 2
+	}
 	return p
 }
 
@@ -117,6 +158,12 @@ type Result struct {
 	// Usage counts wire occupancy per gcell edge for congestion
 	// reporting.
 	OverflowEdges int
+	// Overflowed and Failed list the nets left with Status NetOverflow
+	// / NetFailed (sorted by name), for reporting and verification.
+	Overflowed []string
+	Failed     []string
+	// RipupRounds counts the rip-up-and-reroute rounds executed.
+	RipupRounds int
 }
 
 // node is a 3D grid location.
@@ -130,12 +177,31 @@ type router struct {
 	p      Params
 	nx, ny int
 	use    map[[5]int]int // edge occupancy: (x, y, l, dx, dy)
-	tr     *obs.Trace
+	// netEdges tracks each net's committed edges so rip-up can return
+	// exactly its occupancy to the congestion map.
+	netEdges map[string]map[[5]int]int
+	// congest is the live congestion multiplier — Params.CongestionCost
+	// initially, doubled each rip-up round.
+	congest float64
+	tr      *obs.Trace
+	ctx     context.Context
+	inj     *fault.Injector
 }
 
 // Route routes all nets within the region (placement bounding box
 // plus margin).
 func Route(t *pdk.Tech, region geom.Rect, nets []NetReq, p Params) (*Result, error) {
+	return RouteCtx(context.Background(), t, region, nets, p)
+}
+
+// RouteCtx is Route bound to a context: the A* search polls ctx at
+// bounded intervals, and ctx's fault injector arms the route.net
+// site. A net that fails to route no longer aborts the run — it is
+// recorded with Status NetFailed (and, when Params.MaxRipup > 0,
+// retried under the rip-up ladder first) so callers decide whether a
+// partial routing is tolerable. Only cancellation and structural
+// errors return a non-nil error.
+func RouteCtx(ctx context.Context, t *pdk.Tech, region geom.Rect, nets []NetReq, p Params) (*Result, error) {
 	p = p.withDefaults(t)
 	if region.Empty() {
 		return nil, fmt.Errorf("route: empty region")
@@ -145,12 +211,16 @@ func Route(t *pdk.Tech, region geom.Rect, nets []NetReq, p Params) (*Result, err
 		tr = obs.Default()
 	}
 	r := &router{
-		tech: t,
-		p:    p,
-		nx:   int(region.W()/p.CellSize) + 3,
-		ny:   int(region.H()/p.CellSize) + 3,
-		use:  make(map[[5]int]int),
-		tr:   tr,
+		tech:     t,
+		p:        p,
+		nx:       int(region.W()/p.CellSize) + 3,
+		ny:       int(region.H()/p.CellSize) + 3,
+		use:      make(map[[5]int]int),
+		netEdges: make(map[string]map[[5]int]int),
+		congest:  p.CongestionCost,
+		tr:       tr,
+		ctx:      ctx,
+		inj:      fault.From(ctx),
 	}
 	res := &Result{Nets: make(map[string]*NetRoute, len(nets))}
 
@@ -169,32 +239,151 @@ func Route(t *pdk.Tech, region geom.Rect, nets []NetReq, p Params) (*Result, err
 			res.Nets[net.Name] = &NetRoute{Name: net.Name, LengthByLayer: map[pdk.Layer]int64{}}
 			continue
 		}
-		sp := obs.StartSpan(tr, p.Obs, "route.net")
-		sp.SetAttr("net", net.Name)
-		sp.SetAttr("pins", len(net.Pins))
-		nr, err := r.routeNet(region, net)
-		if err != nil {
-			tr.Counter("route.failures").Inc()
-			sp.End()
+		if err := r.routeOne(region, net, p, res); err != nil {
 			return nil, err
 		}
-		if tr.Enabled() {
-			sp.SetAttr("length_nm", nr.TotalLength())
-			sp.SetAttr("vias", nr.Vias)
-			tr.Counter("route.nets_routed").Inc()
-			tr.Counter("route.vias").Add(int64(nr.Vias))
-			tr.Histogram("route.net.length_nm").Observe(float64(nr.TotalLength()))
-		}
-		sp.End()
-		res.Nets[net.Name] = nr
 	}
-	for _, n := range r.use {
-		if n > 2 {
-			res.OverflowEdges++
+
+	// Graceful-degradation ladder: rip up the problem nets (failed, or
+	// riding an over-capacity edge) and reroute them under a doubled
+	// congestion penalty, up to MaxRipup rounds. The rounds run after
+	// the main pass so every reroute sees the full congestion picture;
+	// with the default MaxRipup of 0 this is dead code and the result
+	// is byte-identical to the ladder-free router.
+	for round := 1; round <= p.MaxRipup; round++ {
+		redo := r.problemNets(order, res)
+		if len(redo) == 0 {
+			break
 		}
+		res.RipupRounds = round
+		tr.Counter("route.ripup_rounds").Inc()
+		r.congest = p.CongestionCost * float64(int64(1)<<uint(round))
+		for _, net := range redo {
+			r.ripup(net.Name)
+			delete(res.Nets, net.Name)
+		}
+		for _, net := range redo {
+			if err := r.routeOne(region, net, p, res); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	overflow := r.overflowEdges()
+	res.OverflowEdges = len(overflow)
+	for name, nr := range res.Nets {
+		switch {
+		case nr.Status == NetFailed:
+			res.Failed = append(res.Failed, name)
+		case r.touchesOverflow(name, overflow):
+			nr.Status = NetOverflow
+			res.Overflowed = append(res.Overflowed, name)
+		}
+	}
+	sort.Strings(res.Failed)
+	sort.Strings(res.Overflowed)
+	if n := len(res.Failed); n > 0 {
+		tr.Counter("route.nets_failed").Add(int64(n))
+	}
+	if n := len(res.Overflowed); n > 0 {
+		tr.Counter("route.overflow_nets").Add(int64(n))
 	}
 	tr.Gauge("route.overflow_edges").Set(float64(res.OverflowEdges))
 	return res, nil
+}
+
+// routeOne routes a single net under a route.net span, converting a
+// routing failure into a NetFailed entry (cancellation still aborts).
+func (r *router) routeOne(region geom.Rect, net NetReq, p Params, res *Result) error {
+	tr := r.tr
+	sp := obs.StartSpan(tr, p.Obs, "route.net")
+	sp.SetAttr("net", net.Name)
+	sp.SetAttr("pins", len(net.Pins))
+	nr, err := r.routeNetOnce(region, net)
+	if err != nil {
+		// Partial branches may be committed; return their occupancy.
+		r.ripup(net.Name)
+		if cerr := r.ctx.Err(); cerr != nil {
+			sp.End()
+			return cerr
+		}
+		tr.Counter("route.failures").Inc()
+		sp.SetAttr("error", err.Error())
+		sp.End()
+		res.Nets[net.Name] = &NetRoute{
+			Name: net.Name, LengthByLayer: map[pdk.Layer]int64{},
+			Status: NetFailed, Err: err.Error(),
+		}
+		return nil
+	}
+	if tr.Enabled() {
+		sp.SetAttr("length_nm", nr.TotalLength())
+		sp.SetAttr("vias", nr.Vias)
+		tr.Counter("route.nets_routed").Inc()
+		tr.Counter("route.vias").Add(int64(nr.Vias))
+		tr.Histogram("route.net.length_nm").Observe(float64(nr.TotalLength()))
+	}
+	sp.End()
+	res.Nets[net.Name] = nr
+	return nil
+}
+
+// routeNetOnce arms the route.net fault site in front of one routing
+// attempt.
+func (r *router) routeNetOnce(region geom.Rect, net NetReq) (*NetRoute, error) {
+	if err := r.inj.Hit(fault.SiteRouteNet); err != nil {
+		return nil, fmt.Errorf("route: net %s: %w", net.Name, err)
+	}
+	return r.routeNet(region, net)
+}
+
+// problemNets returns, in the deterministic routing order, the nets
+// that need another rip-up round: failed ones and those riding an
+// over-capacity edge.
+func (r *router) problemNets(order []NetReq, res *Result) []NetReq {
+	overflow := r.overflowEdges()
+	var out []NetReq
+	for _, net := range order {
+		nr, ok := res.Nets[net.Name]
+		if !ok {
+			continue
+		}
+		if nr.Status == NetFailed || r.touchesOverflow(net.Name, overflow) {
+			out = append(out, net)
+		}
+	}
+	return out
+}
+
+// overflowEdges returns the set of gcell edges over capacity.
+func (r *router) overflowEdges() map[[5]int]bool {
+	out := make(map[[5]int]bool)
+	for k, n := range r.use {
+		if n > r.p.EdgeCapacity {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// touchesOverflow reports whether a net occupies any overflowed edge.
+func (r *router) touchesOverflow(name string, overflow map[[5]int]bool) bool {
+	for k := range r.netEdges[name] {
+		if overflow[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// ripup removes a net's committed occupancy from the congestion map.
+func (r *router) ripup(name string) {
+	for k, n := range r.netEdges[name] {
+		if r.use[k] -= n; r.use[k] <= 0 {
+			delete(r.use, k)
+		}
+	}
+	delete(r.netEdges, name)
 }
 
 // gcell maps placement coordinates to grid coordinates.
@@ -328,6 +517,14 @@ func (r *router) astar(tree map[node]bool, region geom.Rect, pin Pin) ([]node, e
 	found := false
 	expansions := int64(0)
 	for open.Len() > 0 {
+		// Bounded cancellation latency without a per-expansion branch
+		// on the syscall-free hot path.
+		if expansions&511 == 0 {
+			if err := r.ctx.Err(); err != nil {
+				r.tr.Counter("route.astar.expansions").Add(expansions)
+				return nil, err
+			}
+		}
 		expansions++
 		cur := heap.Pop(open).(pqItem)
 		if g, ok := gScore[cur.n]; ok && cur.g > g {
@@ -406,7 +603,7 @@ func (r *router) edgeCost(a, b node) float64 {
 	}
 	c := 1.0
 	key := edgeKey(a, b)
-	c += r.p.CongestionCost * float64(r.use[key])
+	c += r.congest * float64(r.use[key])
 	return c
 }
 
@@ -436,7 +633,14 @@ func (r *router) commit(nr *NetRoute, path []node, region geom.Rect) {
 			continue
 		}
 		nr.LengthByLayer[a.l] += cs
-		r.use[edgeKey(a, b)]++
+		key := edgeKey(a, b)
+		r.use[key]++
+		ne := r.netEdges[nr.Name]
+		if ne == nil {
+			ne = make(map[[5]int]int)
+			r.netEdges[nr.Name] = ne
+		}
+		ne[key]++
 		nr.Segments = append(nr.Segments, Segment{Layer: a.l, From: toPt(a), To: toPt(b)})
 	}
 }

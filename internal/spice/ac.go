@@ -76,6 +76,9 @@ func (e *Engine) AC(fstart, fstop float64, pointsPerDecade int, op *OPResult) (*
 	res := &ACResult{Freqs: freqs, e: e}
 	M := numeric.NewCMatrix(e.n)
 	for _, f := range freqs {
+		if err := e.canceled(); err != nil {
+			return nil, err
+		}
 		omega := 2 * math.Pi * f
 		M.Zero()
 		rhs := make([]complex128, e.n)

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"primopt/internal/fault"
 	"primopt/internal/numeric"
 	"primopt/internal/obs"
 )
@@ -64,10 +65,18 @@ func (e *Engine) OP() (*OPResult, error) {
 }
 
 func (e *Engine) op(tr *obs.Trace) (*OPResult, error) {
+	if err := e.inj.Hit(fault.SiteSpiceOP); err != nil {
+		return nil, fmt.Errorf("spice: OP for %s: %w", e.NL.Name, err)
+	}
 	x := make([]float64, e.n)
 	// Plain Newton from zero with a modest gmin floor.
 	if err := e.newtonDC(x, 1e-12, 1.0); err == nil {
 		return &OPResult{X: x, e: e}, nil
+	}
+	// A canceled context fails every fallback stage too — surface it
+	// directly instead of reporting a spurious convergence failure.
+	if err := e.canceled(); err != nil {
+		return nil, err
 	}
 	tr.Counter("spice.op.fallbacks").Inc()
 	// gmin stepping: converge with a large shunt conductance, then
@@ -112,9 +121,19 @@ func (e *Engine) newtonDC(x []float64, gmin, srcScale float64) error {
 	rhs := make([]float64, n)
 	xNew := make([]float64, n)
 	tr := obs.Default()
+	// An armed spice.dc site forces this solve down its genuine
+	// nonconvergence path: same counter, same error text, so tests
+	// of the escape hatches exercise the real recovery code.
+	if err := e.inj.Hit(fault.SiteSpiceDC); err != nil {
+		tr.Counter("spice.dc.nonconverged").Inc()
+		return fmt.Errorf("no convergence in %d iterations: %w", maxNewtonIters, err)
+	}
 	iters := 0
 	defer func() { tr.Counter("spice.dc.newton_iters").Add(int64(iters)) }()
 	for iter := 0; iter < maxNewtonIters; iter++ {
+		if err := e.canceled(); err != nil {
+			return err
+		}
 		iters = iter + 1
 		J.Zero()
 		for i := range rhs {

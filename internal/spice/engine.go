@@ -12,11 +12,13 @@
 package spice
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"primopt/internal/circuit"
 	"primopt/internal/device"
+	"primopt/internal/fault"
 	"primopt/internal/pdk"
 )
 
@@ -25,6 +27,14 @@ import (
 type Engine struct {
 	Tech *pdk.Tech
 	NL   *circuit.Netlist
+
+	// ctx, when set via WithContext, is polled by the Newton and
+	// transient inner loops so a deadline or cancellation aborts a
+	// stuck solve promptly. inj is the fault injector resolved once
+	// at construction (and re-resolved by WithContext) so the hot
+	// loops pay one nil check per hit, not a context lookup.
+	ctx context.Context
+	inj *fault.Injector
 
 	nodeOf    map[string]int // net -> unknown index; ground absent
 	nodeNames []string       // index -> net
@@ -49,6 +59,7 @@ func New(t *pdk.Tech, nl *circuit.Netlist) (*Engine, error) {
 	e := &Engine{
 		Tech:     t,
 		NL:       nl,
+		inj:      fault.Default(),
 		nodeOf:   make(map[string]int),
 		branchOf: make(map[string]int),
 	}
@@ -112,6 +123,30 @@ func New(t *pdk.Tech, nl *circuit.Netlist) (*Engine, error) {
 		})
 	}
 	return e, nil
+}
+
+// WithContext binds the engine to ctx: inner solver loops poll it for
+// cancellation, and the context's fault injector (if any) replaces the
+// process default. Call before the first analysis; the engine is not
+// otherwise concurrency-safe. Returns e for chaining.
+func (e *Engine) WithContext(ctx context.Context) *Engine {
+	e.ctx = ctx
+	e.inj = fault.From(ctx)
+	return e
+}
+
+// canceled returns the binding context's error once it is done, nil
+// otherwise (including for unbound engines).
+func (e *Engine) canceled() error {
+	if e.ctx == nil {
+		return nil
+	}
+	select {
+	case <-e.ctx.Done():
+		return e.ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // node returns the unknown index of a net, or -1 for ground.

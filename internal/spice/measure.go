@@ -1,6 +1,7 @@
 package spice
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math"
@@ -514,6 +515,16 @@ func recordDeck(tr *obs.Trace, src string) {
 // RunSource parses deck text and executes it in one call — the
 // workhorse for primitive testbenches.
 func RunSource(t *pdk.Tech, src string) (*Results, *Deck, error) {
+	return RunSourceCtx(context.Background(), t, src)
+}
+
+// RunSourceCtx is RunSource bound to a context: the solver inner
+// loops poll ctx for cancellation, and the context's fault injector
+// (if any) arms the engine's fault sites.
+func RunSourceCtx(ctx context.Context, t *pdk.Tech, src string) (*Results, *Deck, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	if tr := obs.Default(); tr.Enabled() {
 		tr.Counter("spice.decks").Inc()
 		recordDeck(tr, src)
@@ -526,6 +537,7 @@ func RunSource(t *pdk.Tech, src string) (*Results, *Deck, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	e.WithContext(ctx)
 	res, err := RunDeck(e, deck)
 	if err != nil {
 		return nil, nil, err

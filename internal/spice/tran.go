@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"primopt/internal/device"
+	"primopt/internal/fault"
 	"primopt/internal/numeric"
 	"primopt/internal/obs"
 )
@@ -98,6 +99,10 @@ func (e *Engine) Tran(tstep, tstop float64, opts TranOpts) (*TranResult, error) 
 	if tstep <= 0 || tstop <= 0 || tstop < tstep {
 		return nil, fmt.Errorf("spice: bad tran range step=%g stop=%g", tstep, tstop)
 	}
+	if err := e.inj.Hit(fault.SiteSpiceTran); err != nil {
+		obs.Default().Counter("spice.tran.failures").Inc()
+		return nil, fmt.Errorf("spice: tran for %s: %w", e.NL.Name, err)
+	}
 	x := make([]float64, e.n)
 	if !opts.UIC {
 		op, err := e.OP()
@@ -186,6 +191,10 @@ func (st *tranState) advanceTo(x []float64, t, tEnd, h float64, depth int) error
 		xTry := append([]float64(nil), x...)
 		iCapNew, iIndNew, err := st.step(xTry, t, step)
 		if err != nil {
+			// Halving cannot rescue a canceled run — stop retrying.
+			if cerr := st.e.canceled(); cerr != nil {
+				return cerr
+			}
 			if depth >= 12 {
 				return err
 			}
@@ -233,6 +242,15 @@ func (st *tranState) refreshMOSCaps(x []float64) {
 // solution in x. It returns the new capacitor and inductor currents.
 func (st *tranState) step(x []float64, t, h float64) ([]float64, []float64, error) {
 	e := st.e
+	if err := e.canceled(); err != nil {
+		return nil, nil, err
+	}
+	// An armed spice.tran.step site fails this step like a Newton
+	// nonconvergence would, driving the recursive halving path; armed
+	// @N+ it exhausts the halving depth and stalls the analysis.
+	if err := e.inj.Hit(fault.SiteSpiceTranStep); err != nil {
+		return nil, nil, fmt.Errorf("tran step no convergence (h=%.3g): %w", h, err)
+	}
 	n := e.n
 	J := st.J
 	rhs := st.rhs

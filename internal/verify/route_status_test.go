@@ -1,0 +1,53 @@
+package verify
+
+import (
+	"testing"
+
+	"primopt/internal/route"
+)
+
+// TestCheckRouteStatusBrokenFixture promotes a hand-built partial
+// routing — one failed net, one overflowed net, one healthy — into
+// violations, checking messages and rule classes.
+func TestCheckRouteStatusBrokenFixture(t *testing.T) {
+	res := &route.Result{
+		Nets: map[string]*route.NetRoute{
+			"bad":  {Name: "bad", Status: route.NetFailed, Err: "no path from pin 0"},
+			"hot":  {Name: "hot", Status: route.NetOverflow},
+			"good": {Name: "good", Status: route.NetRouted},
+		},
+		Failed:        []string{"bad"},
+		Overflowed:    []string{"hot"},
+		OverflowEdges: 1,
+	}
+	rep := CheckRouteStatus(res)
+	if len(rep.Violations) != 2 {
+		t.Fatalf("violations = %d, want 2: %+v", len(rep.Violations), rep.Violations)
+	}
+	byRule := map[Rule]Violation{}
+	for _, v := range rep.Violations {
+		byRule[v.Rule] = v
+	}
+	vf, ok := byRule[RuleRouteFailed]
+	if !ok || len(vf.Nets) != 1 || vf.Nets[0] != "bad" || vf.Msg != "no path from pin 0" {
+		t.Errorf("route_failed violation = %+v", vf)
+	}
+	vo, ok := byRule[RuleRouteOverflow]
+	if !ok || len(vo.Nets) != 1 || vo.Nets[0] != "hot" {
+		t.Errorf("route_overflow violation = %+v", vo)
+	}
+}
+
+// TestCheckRouteStatusClean: a fully routed result and a nil result
+// both produce an empty report.
+func TestCheckRouteStatusClean(t *testing.T) {
+	if rep := CheckRouteStatus(nil); !rep.Clean() {
+		t.Errorf("nil result not clean: %+v", rep.Violations)
+	}
+	res := &route.Result{Nets: map[string]*route.NetRoute{
+		"n": {Name: "n", Status: route.NetRouted},
+	}}
+	if rep := CheckRouteStatus(res); !rep.Clean() {
+		t.Errorf("clean result produced violations: %+v", rep.Violations)
+	}
+}
