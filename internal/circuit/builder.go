@@ -26,6 +26,7 @@ func (b *Builder) autoName(prefix string) string {
 // MOS adds a FinFET. l is drawn gate length in nm.
 func (b *Builder) MOS(name string, t DeviceType, d, g, s, bulk string, nfin, nf, m int, l int64) *Builder {
 	if !t.IsMOS() {
+		//lint:allow errflow builder invariant (see Netlist.MustAdd doc): literal misuse panics at construction time, never at runtime
 		panic("circuit: MOS builder with non-MOS type")
 	}
 	dev := &Device{Name: name, Type: t, Nets: []string{d, g, s, bulk}}
@@ -109,6 +110,7 @@ func (b *Builder) VSin(name, p, n string, vo, va, freq float64) *Builder {
 // VPWL adds a piecewise-linear voltage source.
 func (b *Builder) VPWL(name, p, n string, times, vals []float64) *Builder {
 	if len(times) != len(vals) || len(times) == 0 {
+		//lint:allow errflow builder invariant (see Netlist.MustAdd doc): literal misuse panics at construction time, never at runtime
 		panic("circuit: VPWL needs matching non-empty times/vals")
 	}
 	dev := &Device{Name: name, Type: VSource, Nets: []string{p, n}}
@@ -157,6 +159,7 @@ func (b *Builder) G(name, p, n, cp, cn string, gain float64) *Builder {
 // Primitive annotates previously added devices as a layout primitive.
 func (b *Builder) Primitive(name, kind string, devices []string, pins map[string]string) *Builder {
 	if err := b.nl.Annotate(&Primitive{Name: name, Kind: kind, Devices: devices, Pins: pins}); err != nil {
+		//lint:allow errflow builder invariant (see Netlist.MustAdd doc): literal misuse panics at construction time, never at runtime
 		panic(err)
 	}
 	return b

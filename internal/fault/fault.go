@@ -292,10 +292,12 @@ func (in *Injector) Hit(site string) error {
 		return nil
 	}
 	in.trace().Counter("fault.injected").Inc()
+	//lint:allow spanhygiene site names come from the finite fault-spec grammar and are stable for a given (seed, spec)
 	in.trace().Counter("fault.injected." + site).Inc()
 	fe := &Error{Site: site, Hit: hit}
 	switch mode {
 	case ModePanic:
+		//lint:allow errflow ModePanic is the injector's contract: the armed site must panic so recovery ladders can be exercised
 		panic(fe)
 	case ModeDelay:
 		if dur > 0 {

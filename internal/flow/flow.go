@@ -184,7 +184,7 @@ func Run(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params) (*Result, err
 // and Params.Fault (or an injector already on ctx) arms the
 // deterministic fault sites.
 func RunContext(ctx context.Context, t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params) (*Result, error) {
-	start := time.Now()
+	start := time.Now() //lint:allow rngpurity wall time feeds Result.Runtime reporting metadata only, never layout or metric values
 	ctx = p.bind(ctx)
 	res := &Result{Mode: mode, Benchmark: bm.Name}
 	root := p.trace().Start("flow.run")
@@ -193,7 +193,7 @@ func RunContext(ctx context.Context, t *pdk.Tech, bm *circuits.Benchmark, mode M
 	root.SetAttr("seed", p.Seed)
 	root.SetAttr("cache", p.Optimize.Cache != nil)
 	defer func() {
-		res.Runtime = time.Since(start)
+		res.Runtime = time.Since(start) //lint:allow rngpurity wall time feeds Result.Runtime reporting metadata only, never layout or metric values
 		root.SetAttr("sims", res.Sims)
 		if len(res.Degraded) > 0 {
 			root.SetAttr("degraded", len(res.Degraded))
@@ -828,7 +828,7 @@ func RunFixedWires(t *pdk.Tech, bm *circuits.Benchmark, n int, p Params) (*Resul
 // RunFixedWiresContext is RunFixedWires bound to a context (see
 // RunContext).
 func RunFixedWiresContext(ctx context.Context, t *pdk.Tech, bm *circuits.Benchmark, n int, p Params) (*Result, error) {
-	start := time.Now()
+	start := time.Now() //lint:allow rngpurity wall time feeds Result.Runtime reporting metadata only, never layout or metric values
 	ctx = p.bind(ctx)
 	res := &Result{Mode: Conventional, Benchmark: bm.Name}
 	if n < 1 {
@@ -839,7 +839,7 @@ func RunFixedWiresContext(ctx context.Context, t *pdk.Tech, bm *circuits.Benchma
 	root.SetAttr("mode", "fixed_wires")
 	root.SetAttr("n_wires", n)
 	defer func() {
-		res.Runtime = time.Since(start)
+		res.Runtime = time.Since(start) //lint:allow rngpurity wall time feeds Result.Runtime reporting metadata only, never layout or metric values
 		root.SetAttr("sims", res.Sims)
 		root.End()
 	}()

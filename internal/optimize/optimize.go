@@ -507,6 +507,7 @@ func correlationGroups(terms []primlib.TuningTerm) [][]primlib.TuningTerm {
 		// Follow the correlation chain (practically at most two
 		// terminals, per the paper).
 		next := tt.CorrelatedWith
+		//lint:allow ctxpoll terminates without polling: every iteration marks next in used or breaks, bounded by the terminal count
 		for next != "" && !used[next] {
 			ct, ok := byName[next]
 			if !ok {

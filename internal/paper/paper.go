@@ -95,8 +95,14 @@ func Table1(t *pdk.Tech) (*report.Table, error) {
 	}
 	cs1 := bm.Inst("cs1")
 	cs2 := bm.Inst("cs2")
-	e1, _ := primlib.Lookup(cs1.Kind)
-	e2, _ := primlib.Lookup(cs2.Kind)
+	e1, err := primlib.Lookup(cs1.Kind)
+	if err != nil {
+		return nil, err
+	}
+	e2, err := primlib.Lookup(cs2.Kind)
+	if err != nil {
+		return nil, err
+	}
 	b1, b2 := cs1.Bias(op), cs2.Bias(op)
 
 	evalAt := func(e *primlib.Entry, sz primlib.Sizing, bias primlib.Bias, wires int) (map[string]float64, error) {
@@ -247,21 +253,28 @@ func Table3(t *pdk.Tech) (*report.Table, error) {
 			cfg.Pattern.String(), dGm, dGmCt, dOff,
 			fmt.Sprintf("%.1f", o.Cost), fmt.Sprintf("%d", o.Bin+1), pick)
 	}
+	sigma, err := offsetSigma(t)
+	if err != nil {
+		return nil, err
+	}
 	tb.Note("offset spec = 10%% of random offset sigma = %s V",
-		units.Format(0.1*offsetSigma(t), 3))
+		units.Format(0.1*sigma, 3))
 	return tb, nil
 }
 
-func offsetSigma(t *pdk.Tech) float64 {
-	m, _ := primlib.DiffPair.CostMetrics(t, dpSizing(), &primlib.Eval{Values: map[string]float64{
+func offsetSigma(t *pdk.Tech) (float64, error) {
+	m, err := primlib.DiffPair.CostMetrics(t, dpSizing(), &primlib.Eval{Values: map[string]float64{
 		"Gm": 1, "Gm/Ctotal": 1,
 	}})
+	if err != nil {
+		return 0, err
+	}
 	for _, mm := range m {
 		if mm.Name == "offset" {
-			return mm.Spec * 10
+			return mm.Spec * 10, nil
 		}
 	}
-	return 0
+	return 0, nil
 }
 
 // Table4 reproduces the port-optimization cost sweeps: DP and passive

@@ -187,7 +187,11 @@ func TestShapeChecksHandlesPartialResults(t *testing.T) {
 }
 
 func TestOffsetSigmaPositive(t *testing.T) {
-	if s := offsetSigma(tech); s <= 0 {
+	s, err := offsetSigma(tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 0 {
 		t.Errorf("offset sigma = %g", s)
 	}
 }

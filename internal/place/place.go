@@ -343,6 +343,7 @@ func runReplica(ctx context.Context, template *state, r int, p Params, tr *obs.T
 				next = st.evaluateIncremental(p)
 				if debugCheckIncremental {
 					if full := st.evaluateFull(p); full.cost != next.cost {
+						//lint:allow errflow debug-only consistency assertion behind the debugCheckIncremental build constant; compiled out in production
 						panic(fmt.Sprintf("place: incremental cost %v != full cost %v", next.cost, full.cost))
 					}
 				}

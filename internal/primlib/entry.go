@@ -138,6 +138,7 @@ var registry = map[string]*Entry{}
 
 func register(e *Entry) *Entry {
 	if _, dup := registry[e.Kind]; dup {
+		//lint:allow errflow init-time registration of the built-in library; a duplicate kind is a programmer error caught at startup
 		panic("primlib: duplicate entry " + e.Kind)
 	}
 	registry[e.Kind] = e

@@ -67,7 +67,7 @@ func (e *Engine) AC(fstart, fstop float64, pointsPerDecade int, op *OPResult) (*
 	tr := obs.Default()
 	var t0 time.Time
 	if tr.Enabled() {
-		t0 = time.Now()
+		t0 = time.Now() //lint:allow rngpurity trace-gated read feeding the spice.ac.solve_ns histogram only; tracing is passive (obs doc)
 	}
 
 	// Linearize devices once at the operating point.
@@ -95,6 +95,7 @@ func (e *Engine) AC(fstart, fstop float64, pointsPerDecade int, op *OPResult) (*
 	if tr.Enabled() {
 		tr.Counter("spice.ac.runs").Inc()
 		tr.Counter("spice.ac.points").Add(int64(len(freqs)))
+		//lint:allow rngpurity trace-gated read feeding the spice.ac.solve_ns histogram only; tracing is passive (obs doc)
 		tr.Histogram("spice.ac.solve_ns").Observe(float64(time.Since(t0).Nanoseconds()))
 	}
 	return res, nil

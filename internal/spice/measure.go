@@ -498,6 +498,7 @@ var deckDedup struct {
 
 func recordDeck(tr *obs.Trace, src string) {
 	h := fnv.New64a()
+	//lint:allow errflow hash.Hash.Write is documented to never return an error
 	h.Write([]byte(src))
 	sum := h.Sum64()
 	deckDedup.mu.Lock()

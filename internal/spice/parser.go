@@ -399,6 +399,7 @@ func parseSource(deck *Deck, fields []string) error {
 		return fmt.Errorf("spice: source %q: %v", fields[0], err)
 	}
 	i := 0
+	//lint:allow ctxpoll bounded by the token count and i advances every iteration; parsing precedes solving
 	for i < len(toks) {
 		t := strings.ToLower(toks[i])
 		switch {

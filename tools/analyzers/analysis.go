@@ -59,9 +59,20 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	})
 }
 
-// All returns every analyzer this package defines.
+// All returns every analyzer this package defines, in stable order:
+// the two original unit/sharing checks plus the determinism-and-
+// robustness suite that mechanically enforces the invariants PRs 3-5
+// established by convention.
 func All() []*Analyzer {
-	return []*Analyzer{UnitMix, SharedMut}
+	return []*Analyzer{
+		CtxPoll,
+		DetOrder,
+		ErrFlow,
+		RngPurity,
+		SharedMut,
+		SpanHygiene,
+		UnitMix,
+	}
 }
 
 // objPkgPath returns the import path of the package an object belongs

@@ -1,63 +1,186 @@
 package analyzers
 
 import (
+	"go/token"
 	"strings"
+	"sync"
 	"testing"
 )
 
-// loadFixture type-checks one testdata package through the real
-// loader (so primopt imports resolve against the live tree) and runs
-// one analyzer over it.
-func loadFixture(t *testing.T, pkg string, a *Analyzer) []Diagnostic {
+// sharedLoader type-checks through one cached loader: every fixture
+// resolves primopt imports against the live tree, and stdlib packages
+// (type-checked from source) are paid for once per test binary.
+var (
+	loaderOnce sync.Once
+	loaderInst *Loader
+	loaderErr  error
+)
+
+func sharedLoader(t *testing.T) *Loader {
 	t.Helper()
-	l, err := NewLoader(".")
-	if err != nil {
-		t.Fatal(err)
+	loaderOnce.Do(func() {
+		loaderInst, loaderErr = NewLoader(".")
+	})
+	if loaderErr != nil {
+		t.Fatal(loaderErr)
 	}
-	pkgs, err := l.LoadPackages([]string{"primopt/tools/analyzers/testdata/src/" + pkg})
+	return loaderInst
+}
+
+func loadPkg(t *testing.T, path string) (*Package, *token.FileSet) {
+	t.Helper()
+	l := sharedLoader(t)
+	pkgs, err := l.LoadPackages([]string{path})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(pkgs) != 1 {
-		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+		t.Fatalf("loaded %d packages for %s, want 1", len(pkgs), path)
 	}
-	return Analyze(pkgs[0], l.Fset, []*Analyzer{a})
+	return pkgs[0], l.Fset
 }
 
-// wantCount counts the "// want:" markers in the fixture — each marks
-// exactly one line the analyzer must flag.
-func checkDiagnostics(t *testing.T, pkg string, a *Analyzer, want int) {
+// checkGolden matches diagnostics against the fixture's "// want"
+// markers: a marker on line L expects at least one diagnostic on L or
+// L+1, and every diagnostic must sit on a marked line (or the line
+// after one). This pins positions without hard-coding them.
+func checkGolden(t *testing.T, pkg *Package, fset *token.FileSet, diags []Diagnostic) {
 	t.Helper()
-	diags := loadFixture(t, pkg, a)
-	if len(diags) != want {
-		l, _ := NewLoader(".")
-		var msgs []string
-		for _, d := range diags {
-			msgs = append(msgs, d.Format(l.Fset))
+	markers := map[int]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, "// want") {
+					markers[fset.Position(c.Pos()).Line] = true
+				}
+			}
 		}
-		t.Errorf("%s on %s: %d diagnostics, want %d:\n%s",
-			a.Name, pkg, len(diags), want, strings.Join(msgs, "\n"))
+	}
+	matched := map[int]bool{}
+	for _, d := range diags {
+		line := fset.Position(d.Pos).Line
+		switch {
+		case markers[line]:
+			matched[line] = true
+		case markers[line-1]:
+			matched[line-1] = true
+		default:
+			t.Errorf("unexpected diagnostic: %s", d.Format(fset))
+		}
+	}
+	for line := range markers {
+		if !matched[line] {
+			t.Errorf("%s: marker at line %d produced no diagnostic", pkg.Path, line)
+		}
 	}
 }
 
-func TestUnitMixFixture(t *testing.T) {
-	checkDiagnostics(t, "unitmixbad", UnitMix, 3)
+// fixture runs one analyzer raw (no suppression) over one testdata
+// package and golden-checks the findings.
+func fixture(t *testing.T, pkg string, a *Analyzer) {
+	t.Helper()
+	p, fset := loadPkg(t, "primopt/tools/analyzers/testdata/src/"+pkg)
+	checkGolden(t, p, fset, Analyze(p, fset, []*Analyzer{a}))
 }
 
-func TestSharedMutFixture(t *testing.T) {
-	checkDiagnostics(t, "sharedmutbad", SharedMut, 3)
+func TestUnitMixFixture(t *testing.T)     { fixture(t, "unitmixbad", UnitMix) }
+func TestSharedMutFixture(t *testing.T)   { fixture(t, "sharedmutbad", SharedMut) }
+func TestDetOrderFixture(t *testing.T)    { fixture(t, "detorderbad", DetOrder) }
+func TestRngPurityFixture(t *testing.T)   { fixture(t, "rngpuritybad", RngPurity) }
+func TestCtxPollFixture(t *testing.T)     { fixture(t, "ctxpollbad", CtxPoll) }
+func TestSpanHygieneFixture(t *testing.T) { fixture(t, "spanhygienebad", SpanHygiene) }
+func TestErrFlowFixture(t *testing.T)     { fixture(t, "errflowbad", ErrFlow) }
+
+// TestAllowMechanism runs the suppression-aware Check over the
+// allowbad fixture: justified allows silence their diagnostics, while
+// malformed (missing reason, unknown analyzer) and stale allows are
+// themselves diagnostics — all golden-checked by position.
+func TestAllowMechanism(t *testing.T) {
+	p, fset := loadPkg(t, "primopt/tools/analyzers/testdata/src/allowbad")
+	diags := Check(p, fset, []*Analyzer{ErrFlow})
+	checkGolden(t, p, fset, diags)
+
+	var missingReason, unknown, stale, kept int
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == AllowName && strings.Contains(d.Message, "without a reason"):
+			missingReason++
+		case d.Analyzer == AllowName && strings.Contains(d.Message, "unknown analyzer"):
+			unknown++
+		case d.Analyzer == AllowName && strings.Contains(d.Message, "stale"):
+			stale++
+		case d.Analyzer == ErrFlow.Name:
+			kept++
+		}
+	}
+	if missingReason != 1 {
+		t.Errorf("missing-reason diagnostics = %d, want 1", missingReason)
+	}
+	if unknown != 1 {
+		t.Errorf("unknown-analyzer diagnostics = %d, want 1", unknown)
+	}
+	if stale != 1 {
+		t.Errorf("stale-allow diagnostics = %d, want 1", stale)
+	}
+	// The two malformed allows suppress nothing: their errflow
+	// findings survive. The two justified allows silence theirs.
+	if kept != 2 {
+		t.Errorf("surviving errflow diagnostics = %d, want 2", kept)
+	}
 }
 
-// TestInternalTreeIsClean runs both analyzers over the real internal/
-// and cmd/ trees — the lint-clean gate CI enforces.
+// TestDetOrderCatchesSeededPlaceBug is the acceptance gate for the
+// suite: a scratch branch of internal/place seeded with the exact
+// PR-4 bug (unsorted map iteration feeding a returned slice, plus the
+// map-order float reduction) must be caught by detorder.
+func TestDetOrderCatchesSeededPlaceBug(t *testing.T) {
+	p, fset := loadPkg(t, "primopt/tools/analyzers/testdata/src/placescratch")
+	diags := Analyze(p, fset, []*Analyzer{DetOrder})
+	checkGolden(t, p, fset, diags)
+	var appendBug, floatBug bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "append to returned slice") {
+			appendBug = true
+		}
+		if strings.Contains(d.Message, "float accumulation") {
+			floatBug = true
+		}
+	}
+	if !appendBug {
+		t.Error("seeded unsorted-map-feeds-returned-slice bug not caught")
+	}
+	if !floatBug {
+		t.Error("seeded map-order float reduction not caught")
+	}
+}
+
+// TestAllRegistered pins the suite roster: CI and the docs promise
+// these analyzers run over the tree.
+func TestAllRegistered(t *testing.T) {
+	want := []string{"ctxpoll", "detorder", "errflow", "rngpurity", "sharedmut", "spanhygiene", "unitmix"}
+	got := All()
+	if len(got) != len(want) {
+		t.Fatalf("All() has %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("%s has no Doc", a.Name)
+		}
+	}
+}
+
+// TestInternalTreeIsClean runs the full suite, suppression-aware,
+// over the real internal/ and cmd/ trees — the lint-clean gate CI
+// enforces. Every //lint:allow in the tree is validated too: a stale
+// or unjustified allow fails this test.
 func TestInternalTreeIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-tree analysis in -short mode")
 	}
-	l, err := NewLoader(".")
-	if err != nil {
-		t.Fatal(err)
-	}
+	l := sharedLoader(t)
 	pkgs, err := l.LoadPackages([]string{"./internal/...", "./cmd/..."})
 	if err != nil {
 		t.Fatal(err)
@@ -66,7 +189,7 @@ func TestInternalTreeIsClean(t *testing.T) {
 		t.Fatalf("only %d packages loaded — pattern resolution broken", len(pkgs))
 	}
 	for _, p := range pkgs {
-		for _, d := range Analyze(p, l.Fset, All()) {
+		for _, d := range Check(p, l.Fset, All()) {
 			t.Errorf("%s", d.Format(l.Fset))
 		}
 	}

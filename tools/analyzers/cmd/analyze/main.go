@@ -1,27 +1,66 @@
-// Command analyze runs the project's custom static analyzers
-// (unitmix, sharedmut) over module packages. It is the stand-in for
-// `go vet -vettool`: the analyzers are built purely on the standard
-// library, so no analysis driver dependency is required.
+// Command analyze is the multichecker for the project's custom
+// static analyzers — the determinism-and-robustness suite (detorder,
+// rngpurity, ctxpoll, spanhygiene, errflow) plus the original unitmix
+// and sharedmut checks. It is the stand-in for `go vet -vettool`: the
+// analyzers are built purely on the standard library, so no analysis
+// driver dependency is required.
 //
 // Usage:
 //
-//	go run ./tools/analyzers/cmd/analyze ./internal/... ./cmd/...
+//	go run ./tools/analyzers/cmd/analyze [-json] [-run a,b,...] ./internal/... ./cmd/...
 //
-// Exit status 1 when any diagnostic is reported.
+// Diagnostics can be suppressed per line with a mandatory-reason
+// comment on the flagged line or the line above:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// Malformed allows (no reason, unknown analyzer) and stale allows
+// (suppressing nothing) are themselves diagnostics.
+//
+// Output: one line per diagnostic (or a JSON array under -json) on
+// stdout, and a final greppable summary line on stderr —
+// `analyze: FAIL detorder=2 errflow=1 (3 diagnostics)` or
+// `analyze: ok (31 packages, 7 analyzers)`. Exit status 1 when any
+// diagnostic survives suppression, 2 on load errors.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"primopt/tools/analyzers"
 )
 
 func main() {
-	patterns := os.Args[1:]
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./internal/...", "./cmd/..."}
 	}
+
+	as := analyzers.All()
+	if *run != "" {
+		byName := map[string]*analyzers.Analyzer{}
+		for _, a := range as {
+			byName[a.Name] = a
+		}
+		as = nil
+		for _, name := range strings.Split(*run, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "analyze: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			as = append(as, a)
+		}
+	}
+
 	l, err := analyzers.NewLoader(".")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
@@ -32,14 +71,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(2)
 	}
-	bad := false
+
+	var diags []analyzers.Diagnostic
 	for _, p := range pkgs {
-		for _, d := range analyzers.Analyze(p, l.Fset, analyzers.All()) {
+		diags = append(diags, analyzers.Check(p, l.Fset, as)...)
+	}
+
+	if *jsonOut {
+		data, err := analyzers.ToJSON(l.Fset, diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "analyze:", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(data))
+	} else {
+		for _, d := range diags {
 			fmt.Println(d.Format(l.Fset))
-			bad = true
 		}
 	}
-	if bad {
+	fmt.Fprintln(os.Stderr, analyzers.Summary(diags, len(pkgs), len(as)))
+	if len(diags) > 0 {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,158 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxPoll flags statically unbounded loops in the solver packages
+// that never check for cancellation. PR 5 threaded context through
+// every solver inner loop (Newton iterations, transient steps,
+// annealing bands, A* expansions) so that deadlines and cancellation
+// actually reach the places where the flow spends its time; nothing
+// but this analyzer stops the next hot loop from shipping without a
+// poll and hanging a canceled request forever.
+//
+// Unbounded means a `for` with no init/post clause: `for {}` and
+// `for cond {}` have no statically evident trip bound. Three-clause
+// and `range` loops are bounded by construction and exempt. A loop
+// passes when its body (at any depth) references a context.Context
+// value — ctx.Err(), ctx.Done(), passing ctx to a callee — or calls a
+// same-package function that (transitively) does, which covers
+// polling helpers like spice's Engine.canceled.
+var CtxPoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc: "flag unbounded loops in solver packages that never poll a " +
+		"context for cancellation",
+	Run: runCtxPoll,
+}
+
+func runCtxPoll(p *Pass) {
+	if !inRngScope(p.Pkg.Path()) { // same scope: the deterministic solver packages
+		return
+	}
+	checking := ctxCheckingFuncs(p)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				fs, ok := n.(*ast.ForStmt)
+				if !ok || fs.Init != nil || fs.Post != nil {
+					return true
+				}
+				if mentionsContext(p, fs.Body, checking) {
+					return true
+				}
+				if fs.Cond == nil {
+					p.Reportf(fs.For,
+						"infinite loop never polls a context for cancellation: check ctx.Err()/ctx.Done() (or a polling helper) in the body")
+				} else {
+					p.Reportf(fs.For,
+						"unbounded condition-only loop never polls a context for cancellation: check ctx.Err()/ctx.Done() (or a polling helper) in the body")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// ctxCheckingFuncs computes the package-local functions that check a
+// context, directly or through same-package calls (fixpoint over the
+// call graph one package deep; cross-package polling is visible at
+// the call site because ctx is passed as an argument).
+func ctxCheckingFuncs(p *Pass) map[*types.Func]bool {
+	bodies := map[*types.Func]*ast.BlockStmt{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				bodies[fn] = fd.Body
+			}
+		}
+	}
+	checking := map[*types.Func]bool{}
+	for fn, body := range bodies {
+		if containsCtxExpr(p, body) {
+			checking[fn] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, body := range bodies {
+			if checking[fn] {
+				continue
+			}
+			if callsChecking(p, body, checking) {
+				checking[fn] = true
+				changed = true
+			}
+		}
+	}
+	return checking
+}
+
+// containsCtxExpr reports whether any expression in n has static type
+// context.Context.
+func containsCtxExpr(p *Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		e, ok := m.(ast.Expr)
+		if !ok || found {
+			return !found
+		}
+		if tv, ok := p.Info.Types[e]; ok && tv.Type != nil && typeIs(tv.Type, "context", "Context") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func callsChecking(p *Pass, n ast.Node, checking map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(p, call); fn != nil && checking[fn] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// calleeFunc resolves the static callee of a call, if it is a named
+// function or method.
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// mentionsContext reports whether the loop body checks a context:
+// either a context.Context-typed expression appears, or a
+// same-package ctx-checking function is called.
+func mentionsContext(p *Pass, body *ast.BlockStmt, checking map[*types.Func]bool) bool {
+	return containsCtxExpr(p, body) || callsChecking(p, body, checking)
+}

@@ -1,0 +1,234 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetOrder flags map iteration whose nondeterministic order can leak
+// into results: appending to a slice that the function returns, or
+// accumulating into a float, from inside a `range` over a map. Both
+// are the exact bug class fixed by hand in PR 4 (the A* open heap was
+// seeded from a map range, and the replica reduction summed float
+// costs in map order): runs differ between executions even with a
+// fixed seed, because Go randomizes map iteration order.
+//
+// A returned-slice append is accepted when the function also sorts
+// the slice (any call into package sort or slices that mentions the
+// variable) — collecting map entries and sorting them is the
+// sanctioned pattern. Float accumulation in map order has no such
+// rescue: the fix is to iterate sorted keys, so the accumulation is
+// flagged unconditionally.
+var DetOrder = &Analyzer{
+	Name: "detorder",
+	Doc: "flag map-iteration order flowing into returned slices or " +
+		"float accumulations without an intervening sort",
+	Run: runDetOrder,
+}
+
+func runDetOrder(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncOrder(p, fd)
+		}
+	}
+}
+
+func checkFuncOrder(p *Pass, fd *ast.FuncDecl) {
+	returned := returnedObjects(p, fd)
+	sorted := sortedObjects(p, fd.Body)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapExpr(p, rs.X) {
+			return true
+		}
+		checkMapRangeBody(p, rs, returned, sorted)
+		return true
+	})
+}
+
+// checkMapRangeBody walks one map-range body for order-sensitive
+// sinks. Nested map ranges are found by the outer Inspect, so this
+// only looks at direct statements (any depth, but sinks are
+// attributed to the innermost enclosing map range by virtue of being
+// re-visited — duplicate reports on the same position are collapsed
+// by the framework's ordering, and in practice nested map ranges over
+// the same sink are rare enough that a double report is acceptable
+// noise for a determinism gate).
+func checkMapRangeBody(p *Pass, rs *ast.RangeStmt, returned, sorted map[types.Object]bool) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		// append into an escaping slice: out = append(out, ...)
+		if as.Tok == token.ASSIGN || as.Tok == token.DEFINE {
+			for i, rhs := range as.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(p, call) || i >= len(as.Lhs) {
+					continue
+				}
+				obj := lhsObject(p, as.Lhs[i])
+				if obj == nil || !returned[obj] || sorted[obj] {
+					continue
+				}
+				// The slice must be declared outside the loop: a
+				// per-iteration scratch slice carries no cross-key order.
+				if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+					continue
+				}
+				p.Reportf(as.Pos(),
+					"append to returned slice %s inside map iteration: order is nondeterministic; sort %s (or iterate sorted keys) before returning",
+					obj.Name(), obj.Name())
+			}
+		}
+		// float accumulation: sum += v or sum = sum + v
+		if as.Tok == token.ADD_ASSIGN || as.Tok == token.SUB_ASSIGN {
+			reportFloatAccum(p, rs, as.Lhs[0], as.Pos())
+		}
+		if as.Tok == token.ASSIGN && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			if be, ok := as.Rhs[0].(*ast.BinaryExpr); ok && (be.Op == token.ADD || be.Op == token.SUB) {
+				if sameObject(p, as.Lhs[0], be.X) || sameObject(p, as.Lhs[0], be.Y) {
+					reportFloatAccum(p, rs, as.Lhs[0], as.Pos())
+				}
+			}
+		}
+		return true
+	})
+}
+
+func reportFloatAccum(p *Pass, rs *ast.RangeStmt, lhs ast.Expr, pos token.Pos) {
+	obj := lhsObject(p, lhs)
+	if obj == nil {
+		return
+	}
+	if !isFloat(obj.Type()) {
+		return
+	}
+	// Declared inside the loop: per-iteration, order cannot leak.
+	if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+		return
+	}
+	p.Reportf(pos,
+		"float accumulation into %s inside map iteration: addition order is nondeterministic; iterate sorted keys",
+		obj.Name())
+}
+
+// returnedObjects collects every variable mentioned anywhere inside a
+// return statement (directly, in composite literals, as call
+// arguments) plus the named results — the over-approximation of "this
+// value escapes as a result".
+func returnedObjects(p *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			for _, name := range field.Names {
+				if obj := p.Info.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range rs.Results {
+			ast.Inspect(res, func(m ast.Node) bool {
+				// len(s)/cap(s) in a return do not leak element order.
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+						if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+							return false
+						}
+					}
+				}
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := p.Info.Uses[id]; obj != nil {
+						out[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// sortedObjects collects variables that appear as arguments to a
+// sorting call (package sort or slices) anywhere in the body: a slice
+// that is sorted before the function returns has had its map-order
+// scrambled into a total order.
+func sortedObjects(p *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[sel.Sel]
+		pkg := objPkgPath(obj)
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if o := p.Info.Uses[id]; o != nil {
+						out[o] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+func isMapExpr(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := p.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// lhsObject resolves the root variable written by an assignment LHS.
+func lhsObject(p *Pass, e ast.Expr) types.Object {
+	id := rootIdent(e)
+	if id == nil {
+		return nil
+	}
+	if obj := p.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Uses[id]
+}
+
+func sameObject(p *Pass, a, b ast.Expr) bool {
+	oa, ob := lhsObject(p, a), lhsObject(p, b)
+	return oa != nil && oa == ob
+}

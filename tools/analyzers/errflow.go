@@ -1,0 +1,200 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrFlow flags silently discarded errors and bare panics in the
+// flow-reachable packages (everything under internal/). PR 5 built
+// the degradation ladders on the premise that every error surfaces to
+// a ladder that can absorb it: a discarded error is a hole in that
+// contract, and an unguarded panic rides up through a worker pool
+// until optimize.guard or place.safeReplica happens to catch it.
+//
+// Honors the documented builder-invariant allowlist: functions named
+// Must*/must* exist precisely to panic on programmer error with
+// literal inputs (circuit.MustAdd, units.MustParse), so panics inside
+// them are the contract, not a finding. Error results written into
+// *bytes.Buffer and *strings.Builder (directly or via fmt.Fprint*)
+// are defined to be nil and are exempt. Everything else needs
+// handling or an explicit //lint:allow errflow with a reason.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc: "flag discarded errors and bare panics in flow-reachable " +
+		"packages, honoring the Must* builder-invariant allowlist",
+	Run: runErrFlow,
+}
+
+func inErrFlowScope(path string) bool {
+	return inFixture(path) || strings.HasPrefix(path, "primopt/internal/")
+}
+
+func runErrFlow(p *Pass) {
+	if !inErrFlowScope(p.Pkg.Path()) {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkErrFlow(p, fd)
+		}
+	}
+}
+
+func checkErrFlow(p *Pass, fd *ast.FuncDecl) {
+	mustFunc := strings.HasPrefix(fd.Name.Name, "Must") || strings.HasPrefix(fd.Name.Name, "must")
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := x.X.(*ast.CallExpr); ok {
+				checkDroppedCall(p, call, "")
+			}
+		case *ast.DeferStmt:
+			checkDroppedCall(p, x.Call, "deferred ")
+		case *ast.GoStmt:
+			checkDroppedCall(p, x.Call, "goroutine ")
+		case *ast.AssignStmt:
+			checkBlankErr(p, x)
+		case *ast.CallExpr:
+			id, ok := x.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			if mustFunc {
+				return true
+			}
+			p.Reportf(x.Pos(),
+				"bare panic outside a Must* builder-invariant function: return an error so a degradation ladder can absorb it, "+
+					"or justify with //lint:allow errflow")
+		}
+		return true
+	})
+}
+
+// checkDroppedCall reports a call statement whose results include an
+// error that nobody reads.
+func checkDroppedCall(p *Pass, call *ast.CallExpr, kind string) {
+	if !resultsIncludeError(p, call) || isNilErrorWriter(p, call) {
+		return
+	}
+	if kind == "" {
+		// A panic call is a statement, not a dropped error.
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+			return
+		}
+	}
+	p.Reportf(call.Pos(), "%serror result discarded: handle it or justify with //lint:allow errflow", kind)
+}
+
+// checkBlankErr reports error values assigned to the blank
+// identifier.
+func checkBlankErr(p *Pass, as *ast.AssignStmt) {
+	blankSlot := func(i int) (ast.Expr, bool) {
+		if i >= len(as.Lhs) {
+			return nil, false
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return nil, false
+		}
+		return as.Lhs[i], true
+	}
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// x, _ := f() — slot types come from the call's tuple.
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || isNilErrorWriter(p, call) {
+			return
+		}
+		tv, ok := p.Info.Types[call]
+		if !ok {
+			return
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i := 0; i < tuple.Len() && i < len(as.Lhs); i++ {
+			if lhs, blank := blankSlot(i); blank && isErrorType(tuple.At(i).Type()) {
+				p.Reportf(lhs.Pos(),
+					"error assigned to blank identifier: handle it or justify with //lint:allow errflow")
+			}
+		}
+		return
+	}
+	for i, rhs := range as.Rhs {
+		lhs, blank := blankSlot(i)
+		if !blank {
+			continue
+		}
+		tv, ok := p.Info.Types[rhs]
+		if !ok || !isErrorType(tv.Type) {
+			continue
+		}
+		if call, ok := rhs.(*ast.CallExpr); ok && isNilErrorWriter(p, call) {
+			continue
+		}
+		p.Reportf(lhs.Pos(),
+			"error assigned to blank identifier: handle it or justify with //lint:allow errflow")
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+func resultsIncludeError(p *Pass, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tuple, ok := tv.Type.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(tv.Type)
+}
+
+// isNilErrorWriter exempts writes whose error is documented to always
+// be nil: methods on *bytes.Buffer and *strings.Builder, and
+// fmt.Fprint* writing into one of them.
+func isNilErrorWriter(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := p.Info.Uses[sel.Sel]
+	if obj == nil {
+		return false
+	}
+	if objPkgPath(obj) == "fmt" && strings.HasPrefix(obj.Name(), "Fprint") {
+		if len(call.Args) == 0 {
+			return false
+		}
+		tv, ok := p.Info.Types[call.Args[0]]
+		return ok && isBufferLike(tv.Type)
+	}
+	if recv, ok := p.Info.Types[sel.X]; ok {
+		return isBufferLike(recv.Type)
+	}
+	return false
+}
+
+func isBufferLike(t types.Type) bool {
+	return typeIs(t, "bytes", "Buffer") || typeIs(t, "strings", "Builder")
+}

@@ -1,0 +1,65 @@
+package analyzers
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// JSONDiagnostic is the machine-readable form one diagnostic takes
+// under the driver's -json flag.
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// ToJSON renders diagnostics as an indented JSON array (always an
+// array, "[]" when clean, so CI consumers can parse unconditionally).
+func ToJSON(fset *token.FileSet, diags []Diagnostic) ([]byte, error) {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		out = append(out, JSONDiagnostic{
+			File: p.Filename, Line: p.Line, Col: p.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// Summary renders the one-line per-analyzer tally the driver prints
+// on exit, e.g.:
+//
+//	analyze: FAIL detorder=2 errflow=1 (3 diagnostics)
+//	analyze: ok (31 packages, 7 analyzers)
+//
+// The analyzer=count pairs are sorted by name so the line is stable
+// and greppable in CI logs.
+func Summary(diags []Diagnostic, packages, analyzers int) string {
+	if len(diags) == 0 {
+		return fmt.Sprintf("analyze: ok (%d packages, %d analyzers)", packages, analyzers)
+	}
+	counts := map[string]int{}
+	for _, d := range diags {
+		counts[d.Analyzer]++
+	}
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", n, counts[n]))
+	}
+	noun := "diagnostics"
+	if len(diags) == 1 {
+		noun = "diagnostic"
+	}
+	return fmt.Sprintf("analyze: FAIL %s (%d %s)", strings.Join(parts, " "), len(diags), noun)
+}

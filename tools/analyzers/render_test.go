@@ -1,0 +1,70 @@
+package analyzers
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestToJSON round-trips diagnostics through the -json output shape.
+func TestToJSON(t *testing.T) {
+	p, fset := loadPkg(t, "primopt/tools/analyzers/testdata/src/errflowbad")
+	diags := Analyze(p, fset, []*Analyzer{ErrFlow})
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics")
+	}
+	data, err := ToJSON(fset, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []JSONDiagnostic
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(out) != len(diags) {
+		t.Fatalf("%d JSON records, want %d", len(out), len(diags))
+	}
+	for _, d := range out {
+		if d.Analyzer != "errflow" {
+			t.Errorf("analyzer = %q, want errflow", d.Analyzer)
+		}
+		if d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("incomplete record: %+v", d)
+		}
+		if !strings.HasSuffix(d.File, "errflowbad.go") {
+			t.Errorf("file = %q, want the fixture file", d.File)
+		}
+	}
+}
+
+// TestToJSONEmpty: clean runs still emit a parseable array.
+func TestToJSONEmpty(t *testing.T) {
+	data, err := ToJSON(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(data)); got != "[]" {
+		t.Errorf("empty diagnostics render as %q, want []", got)
+	}
+}
+
+// TestSummary pins the greppable summary-line format.
+func TestSummary(t *testing.T) {
+	if got := Summary(nil, 31, 7); got != "analyze: ok (31 packages, 7 analyzers)" {
+		t.Errorf("clean summary = %q", got)
+	}
+	diags := []Diagnostic{
+		{Analyzer: "errflow"},
+		{Analyzer: "detorder"},
+		{Analyzer: "detorder"},
+	}
+	got := Summary(diags, 31, 7)
+	want := "analyze: FAIL detorder=2 errflow=1 (3 diagnostics)"
+	if got != want {
+		t.Errorf("summary = %q, want %q", got, want)
+	}
+	one := Summary(diags[:1], 1, 1)
+	if !strings.HasSuffix(one, "(1 diagnostic)") {
+		t.Errorf("singular summary = %q", one)
+	}
+}

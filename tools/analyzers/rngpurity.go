@@ -1,0 +1,111 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RngPurity flags wall-clock reads and global-randomness draws in the
+// deterministic solver packages. The flow's reproducibility contract
+// (the fingerprint tests pinned in PRs 4-5: byte-identical layouts
+// for a fixed seed, across worker counts, traced or untraced) only
+// holds if every random draw comes from an explicitly seeded
+// rand.New(rand.NewSource(seed)) stream and no result value depends
+// on time.Now. A seeded local source is fine; the package-level
+// math/rand functions draw from the process-global source, and
+// time.Now/Since read state outside the (seed, input) function the
+// tests pin.
+//
+// Timing reads that feed only the obs trace or reporting metadata are
+// legitimate — those sites carry a //lint:allow rngpurity with the
+// justification, which keeps each one an explicit, reviewed decision.
+var RngPurity = &Analyzer{
+	Name: "rngpurity",
+	Doc: "flag wall-clock reads and global math/rand draws in " +
+		"deterministic solver packages",
+	Run: runRngPurity,
+}
+
+// rngScope is the set of package-path prefixes whose results must be
+// a pure function of (seed, inputs).
+var rngScope = []string{
+	"primopt/internal/spice",
+	"primopt/internal/place",
+	"primopt/internal/route",
+	"primopt/internal/optimize",
+	"primopt/internal/flow",
+}
+
+// inFixture reports whether the package is analyzer test fodder —
+// fixtures are always in scope for every analyzer, whatever tree
+// position they model.
+func inFixture(path string) bool {
+	return strings.Contains(path, "/testdata/src/")
+}
+
+func inRngScope(path string) bool {
+	if inFixture(path) {
+		return true
+	}
+	for _, p := range rngScope {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// globalRandFuncs are the package-level math/rand (and /v2) functions
+// that draw from the shared global source. Constructors of explicit
+// sources (New, NewSource, NewPCG, NewChaCha8) are the sanctioned
+// alternative and are not listed.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint32": true, "Uint32N": true, "Uint64": true, "Uint64N": true,
+	"Uint": true, "UintN": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+func runRngPurity(p *Pass) {
+	if !inRngScope(p.Pkg.Path()) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[sel.Sel]
+			if obj == nil {
+				return true
+			}
+			// Only package-level functions: methods on *rand.Rand carry
+			// their own source and are fine.
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			switch objPkgPath(obj) {
+			case "time":
+				if fn.Name() == "Now" || fn.Name() == "Since" {
+					p.Reportf(sel.Pos(),
+						"time.%s in deterministic solver package: results must be a pure function of (seed, inputs); "+
+							"if this feeds only trace/reporting metadata, justify with //lint:allow rngpurity",
+						fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if globalRandFuncs[fn.Name()] {
+					p.Reportf(sel.Pos(),
+						"global math/rand source (rand.%s) in deterministic solver package: draw from an explicitly seeded rand.New(rand.NewSource(seed))",
+						fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

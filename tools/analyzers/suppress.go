@@ -1,0 +1,147 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Suppression: a diagnostic can be silenced with a comment of the form
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed either on the flagged line or on its own line immediately
+// above it. The reason is mandatory — an allow without one is itself a
+// diagnostic — and so is hitting something: an allow that suppresses
+// nothing is reported as stale, so the tree cannot accumulate dead
+// waivers as the analyzers or the code evolve. Malformed and unused
+// allows are attributed to the pseudo-analyzer "lintallow".
+
+// AllowName is the pseudo-analyzer that owns diagnostics about the
+// suppression comments themselves.
+const AllowName = "lintallow"
+
+const allowPrefix = "//lint:allow"
+
+// allow is one parsed //lint:allow comment.
+type allow struct {
+	pos      token.Pos
+	line     int    // line the comment sits on
+	file     string // file name
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// collectAllows parses every //lint:allow comment in the files.
+// Malformed comments (missing analyzer or missing reason, or naming
+// an analyzer that does not exist) are reported immediately and do
+// not suppress anything.
+func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) ([]*allow, []Diagnostic) {
+	var allows []*allow
+	var diags []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowance — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					diags = append(diags, Diagnostic{
+						Pos: c.Pos(), Analyzer: AllowName,
+						Message: "lint:allow without an analyzer name",
+					})
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					diags = append(diags, Diagnostic{
+						Pos: c.Pos(), Analyzer: AllowName,
+						Message: "lint:allow names unknown analyzer " + name,
+					})
+					continue
+				}
+				if len(fields) < 2 {
+					diags = append(diags, Diagnostic{
+						Pos: c.Pos(), Analyzer: AllowName,
+						Message: "lint:allow " + name + " without a reason; a justification is mandatory",
+					})
+					continue
+				}
+				p := fset.Position(c.Pos())
+				allows = append(allows, &allow{
+					pos: c.Pos(), line: p.Line, file: p.Filename,
+					analyzer: name, reason: strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return allows, diags
+}
+
+// applyAllows filters diags through the allows: a diagnostic is
+// suppressed when a well-formed allow for its analyzer sits on the
+// same line or the line directly above. Allows that suppressed
+// nothing come back as stale-allow diagnostics.
+func applyAllows(fset *token.FileSet, diags []Diagnostic, allows []*allow) []Diagnostic {
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	idx := map[key]*allow{}
+	for _, a := range allows {
+		// An allow covers its own line and the one below it.
+		idx[key{a.file, a.line, a.analyzer}] = a
+		idx[key{a.file, a.line + 1, a.analyzer}] = a
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		if a, ok := idx[key{p.Filename, p.Line, d.Analyzer}]; ok {
+			a.used = true
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, a := range allows {
+		if !a.used {
+			kept = append(kept, Diagnostic{
+				Pos: a.pos, Analyzer: AllowName,
+				Message: "stale lint:allow " + a.analyzer + ": no diagnostic here to suppress",
+			})
+		}
+	}
+	sort.SliceStable(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept
+}
+
+// Check runs the analyzers over one package and returns the
+// diagnostics that survive //lint:allow suppression, plus any
+// diagnostics about the suppression comments themselves. This is the
+// entry point the driver and the tree-clean test use; Analyze returns
+// the raw, unfiltered findings.
+func Check(p *Package, fset *token.FileSet, as []*Analyzer) []Diagnostic {
+	// Allows are validated against the full analyzer registry, not just
+	// the subset running: an allow for an analyzer that exists but is
+	// not in this run must not be misreported as unknown.
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, a := range as {
+		known[a.Name] = true
+	}
+	raw := Analyze(p, fset, as)
+	allows, bad := collectAllows(fset, p.Files, known)
+	out := applyAllows(fset, raw, allows)
+	out = append(out, bad...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}

@@ -1,0 +1,47 @@
+// Package allowbad exercises the //lint:allow suppression mechanism:
+// a well-formed allow (analyzer + mandatory reason) silences the
+// diagnostic on its own line or the line below; an allow with a
+// missing reason or an unknown analyzer is itself a diagnostic and
+// suppresses nothing; an allow that suppresses nothing is stale and
+// also a diagnostic.
+package allowbad
+
+import "errors"
+
+func mightFail() error { return errors.New("boom") }
+
+// goodAllowedAbove: suppressed by a justified allow on the line above.
+func goodAllowedAbove() {
+	//lint:allow errflow fixture demo: the error is intentionally dropped here
+	mightFail()
+}
+
+// goodAllowedSameLine: suppressed by a justified allow on the same line.
+func goodAllowedSameLine() {
+	mightFail() //lint:allow errflow fixture demo: same-line allow
+}
+
+// badMissingReason: the allow is malformed — a justification is
+// mandatory — so it reports AND fails to suppress.
+func badMissingReason() {
+	// want: lint:allow without a reason
+	//lint:allow errflow
+	// want: the errflow diagnostic survives the malformed allow
+	mightFail()
+}
+
+// badUnknownAnalyzer: allows must name a real analyzer.
+func badUnknownAnalyzer() {
+	// want: lint:allow names unknown analyzer
+	//lint:allow nosuchcheck some reason
+	// want: the errflow diagnostic survives the bogus allow
+	mightFail()
+}
+
+// badStale: the error below is handled, so the allow suppresses
+// nothing and must be reported as stale instead of rotting in place.
+func badStale() error {
+	// want: stale allow
+	//lint:allow errflow nothing here needs suppressing
+	return mightFail()
+}

@@ -1,0 +1,79 @@
+// Package ctxpollbad is analyzer test fodder: unbounded solver loops
+// that never poll for cancellation, the way ctxpoll must flag, next
+// to polling and statically bounded loops it must accept.
+package ctxpollbad
+
+import "context"
+
+// badInfinite spins forever with no way to cancel it.
+func badInfinite(work func() bool) {
+	// want: infinite loop without a poll
+	for {
+		if work() {
+			continue
+		}
+	}
+}
+
+// badCondOnly converges on a data condition with no cancellation
+// check — a hung Newton iteration would hang the request.
+func badCondOnly(ctx context.Context, step func() float64) float64 {
+	x := 1.0
+	// want: condition-only loop without a poll
+	for x > 1e-9 {
+		x = step()
+	}
+	_ = ctx
+	return x
+}
+
+// goodDirectPoll checks ctx.Err in the body.
+func goodDirectPoll(ctx context.Context, step func() float64) (float64, error) {
+	x := 1.0
+	for x > 1e-9 {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		x = step()
+	}
+	return x, nil
+}
+
+// engine mimics spice.Engine: the loop polls through a same-package
+// helper that reads the bound context.
+type engine struct{ ctx context.Context }
+
+func (e *engine) canceled() error {
+	if e.ctx == nil {
+		return nil
+	}
+	select {
+	case <-e.ctx.Done():
+		return e.ctx.Err()
+	default:
+		return nil
+	}
+}
+
+func (e *engine) goodHelperPoll(step func() float64) (float64, error) {
+	x := 1.0
+	for x > 1e-9 {
+		if err := e.canceled(); err != nil {
+			return 0, err
+		}
+		x = step()
+	}
+	return x, nil
+}
+
+// goodBounded: three-clause and range loops carry a static bound.
+func goodBounded(xs []float64) float64 {
+	s := 0.0
+	for i := 0; i < len(xs); i++ {
+		s += xs[i]
+	}
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

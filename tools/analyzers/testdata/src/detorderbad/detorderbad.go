@@ -1,0 +1,87 @@
+// Package detorderbad is analyzer test fodder: it leaks map-iteration
+// order into results in the ways detorder must flag — the exact bug
+// class PR 4 fixed by hand in the A* heap seeding and the replica
+// cost reduction — next to sorted and order-free patterns it must
+// accept.
+package detorderbad
+
+import (
+	"sort"
+
+	"primopt/internal/geom"
+)
+
+// badAppend feeds a returned slice straight from a map range: the
+// element order differs between runs.
+func badAppend(m map[string]geom.Rect) []geom.Rect {
+	var out []geom.Rect
+	for _, r := range m {
+		// want: append to returned slice inside map iteration
+		out = append(out, r)
+	}
+	return out
+}
+
+// badFloatSum accumulates floats in map order: float addition is not
+// associative, so the sum's low bits differ between runs.
+func badFloatSum(w map[string]float64) float64 {
+	total := 0.0
+	for _, v := range w {
+		// want: float accumulation inside map iteration
+		total += v
+	}
+	return total
+}
+
+// badExplicitSum is the spelled-out accumulation form.
+func badExplicitSum(w map[string]float64) float64 {
+	total := 0.0
+	for _, v := range w {
+		// want: total = total + v is the same accumulation
+		total = total + v
+	}
+	return total
+}
+
+// goodSortedAppend collects then sorts: map order is scrambled into a
+// total order before anything escapes.
+func goodSortedAppend(m map[string]geom.Rect) []geom.Rect {
+	var out []geom.Rect
+	for _, r := range m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].X0 < out[j].X0 })
+	return out
+}
+
+// goodSortedKeys iterates sorted keys — no map range feeds the sum.
+func goodSortedKeys(w map[string]float64) float64 {
+	keys := make([]string, 0, len(w))
+	for k := range w {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += w[k]
+	}
+	return total
+}
+
+// goodIntCount: integer accumulation is order-independent.
+func goodIntCount(m map[string]geom.Rect) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// goodLocalSlice: the slice never escapes as a result.
+func goodLocalSlice(m map[string]geom.Rect) int {
+	var scratch []geom.Rect
+	for _, r := range m {
+		scratch = append(scratch, r)
+	}
+	return len(scratch)
+}

@@ -1,0 +1,80 @@
+// Package errflowbad is analyzer test fodder: discarded errors and
+// bare panics the way errflow must flag in flow-reachable code, next
+// to the Must* builder-invariant allowlist and nil-error writers it
+// must accept.
+package errflowbad
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+func mightFail(b bool) error {
+	if b {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+func value() (int, error) { return 1, nil }
+
+// badBlank throws the error slot away.
+func badBlank() int {
+	// want: error assigned to blank
+	v, _ := value()
+	return v
+}
+
+// badDirectBlank discards a lone error result.
+func badDirectBlank() {
+	// want: single error to blank
+	_ = mightFail(true)
+}
+
+// badDropped never even looks at the result.
+func badDropped() {
+	// want: call statement discards the error
+	mightFail(false)
+}
+
+// badDeferred is the classic deferred-Close leak.
+func badDeferred(c io.Closer) {
+	// want: deferred error discarded
+	defer c.Close()
+}
+
+// badPanic panics from ordinary flow-reachable code.
+func badPanic(x int) int {
+	if x < 0 {
+		// want: bare panic outside Must*
+		panic("negative")
+	}
+	return x
+}
+
+// MustPositive may panic: the Must* prefix is the documented builder
+// invariant (circuit.MustAdd, units.MustParse).
+func MustPositive(x int) int {
+	if x < 0 {
+		panic("negative")
+	}
+	return x
+}
+
+// goodBuilder writes into sinks whose errors are defined to be nil.
+func goodBuilder() string {
+	var b strings.Builder
+	b.WriteString("hello ")
+	fmt.Fprintf(&b, "%d", 1)
+	return b.String()
+}
+
+// goodHandled propagates.
+func goodHandled() error {
+	if err := mightFail(true); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+// Package placescratch is a scratch branch of internal/place seeded
+// with the known PR-4 bug class: before PR 4, the A* open heap was
+// seeded by ranging over a node map straight into the visit order,
+// so two runs with the same seed expanded nodes in different orders
+// and produced different routes. The acceptance gate for the
+// determinism suite is that detorder catches exactly this shape — a
+// map range feeding a returned slice with no intervening sort.
+package placescratch
+
+import "primopt/internal/geom"
+
+// cell mirrors the placer's per-instance record.
+type cell struct {
+	rect geom.Rect
+	net  string
+}
+
+// seedVisitOrder is the seeded bug: placement rects keyed by instance
+// name feed the initial expansion order through a map range with no
+// sort — byte-identical inputs, different output order every run.
+func seedVisitOrder(cells map[string]*cell) []geom.Rect {
+	var order []geom.Rect
+	for _, c := range cells {
+		// want: the PR-4 bug class detorder exists to catch
+		order = append(order, c.rect)
+	}
+	return order
+}
+
+// netCost is the companion bug from the replica reduction: weighted
+// float costs summed in map order drift in the low bits between runs.
+func netCost(wl map[string]float64, weight float64) float64 {
+	cost := 0.0
+	for _, l := range wl {
+		// want: float reduction in map order
+		cost += weight * l
+	}
+	return cost
+}

@@ -1,0 +1,49 @@
+// Package rngpuritybad is analyzer test fodder: it reads wall clocks
+// and draws from the global math/rand source the way rngpurity must
+// flag inside the deterministic solver packages, next to the
+// sanctioned seeded-source pattern it must accept. (Fixture packages
+// are always in scope, whatever tree position they model.)
+package rngpuritybad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// badClock stamps a result with wall time.
+func badClock() int64 {
+	// want: time.Now in solver code
+	return time.Now().UnixNano()
+}
+
+// badElapsed derives a value from a wall-clock interval.
+func badElapsed(t0 time.Time) float64 {
+	// want: time.Since in solver code
+	return time.Since(t0).Seconds()
+}
+
+// badGlobalDraw perturbs a solution with the process-global source.
+func badGlobalDraw(xs []float64) {
+	for i := range xs {
+		// want: global rand.Float64
+		xs[i] += rand.Float64()
+	}
+}
+
+// badGlobalPick indexes with the global source.
+func badGlobalPick(n int) int {
+	// want: global rand.Intn
+	return rand.Intn(n)
+}
+
+// goodSeeded draws from an explicitly seeded local stream — the
+// reproducible pattern the placer uses.
+func goodSeeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// goodDuration does arithmetic on durations without reading a clock.
+func goodDuration(d time.Duration) float64 {
+	return d.Seconds()
+}

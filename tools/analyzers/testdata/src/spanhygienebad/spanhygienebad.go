@@ -1,0 +1,107 @@
+// Package spanhygienebad is analyzer test fodder: obs spans that leak
+// on a return path, get dropped or overwritten, and metrics with
+// unstable names — everything spanhygiene must flag — next to the
+// codebase's sanctioned patterns (End-per-branch, defer, ownership
+// hand-off) it must accept.
+package spanhygienebad
+
+import (
+	"errors"
+
+	"primopt/internal/obs"
+)
+
+var errTest = errors.New("test")
+
+// badMissedReturn ends the span on the happy path only.
+func badMissedReturn(tr *obs.Trace, fail bool) error {
+	sp := tr.Start("work")
+	if fail {
+		// want: early return leaks the span
+		return errTest
+	}
+	sp.End()
+	return nil
+}
+
+// badNeverEnded starts a span and walks away.
+func badNeverEnded(tr *obs.Trace) {
+	// want: span never ended before the function returns
+	sp := tr.Start("leak")
+	sp.SetAttr("k", 1)
+}
+
+// badReassigned overwrites a live handle: the first span can never be
+// ended.
+func badReassigned(tr *obs.Trace) {
+	sp := tr.Start("first")
+	// want: reassignment while the first span is open
+	sp = tr.Start("second")
+	sp.End()
+}
+
+// badDiscarded drops the handle on the floor.
+func badDiscarded(tr *obs.Trace) {
+	// want: span started and immediately discarded
+	tr.Start("dropped")
+}
+
+// badLoopLeak: on every iteration but the first, the span survives
+// into the next iteration.
+func badLoopLeak(tr *obs.Trace, n int) {
+	for i := 0; i < n; i++ {
+		// want: span started inside a loop not ended each iteration
+		sp := tr.Start("iter")
+		if i == 0 {
+			sp.End()
+		}
+	}
+}
+
+// badMetricName registers under a name that varies at runtime.
+func badMetricName(tr *obs.Trace, site string) {
+	// want: non-constant metric name
+	tr.Counter("x." + site).Inc()
+}
+
+// goodBranches is the flow.go style: every branch ends the span
+// before returning.
+func goodBranches(tr *obs.Trace, fail bool) error {
+	sp := tr.Start("work")
+	if fail {
+		sp.End()
+		return errTest
+	}
+	sp.End()
+	return nil
+}
+
+// goodDefer covers every exit, panics included.
+func goodDefer(tr *obs.Trace) {
+	sp := tr.Start("work")
+	defer sp.End()
+	sp.SetAttr("k", 2)
+}
+
+// holder takes over the End obligation.
+type holder struct{ sp *obs.Span }
+
+// goodEscape hands the span to its new owner.
+func goodEscape(tr *obs.Trace) *holder {
+	sp := tr.Start("owned-elsewhere")
+	return &holder{sp: sp}
+}
+
+// goodLoop balances Start/End every iteration.
+func goodLoop(tr *obs.Trace, n int) {
+	for i := 0; i < n; i++ {
+		sp := tr.Start("iter")
+		sp.SetAttr("i", i)
+		sp.End()
+	}
+}
+
+// goodConstMetric uses the stable literal names checktrace keys on.
+func goodConstMetric(tr *obs.Trace) {
+	tr.Counter("pkg.subsystem.ok").Inc()
+}
