@@ -1,0 +1,87 @@
+// `primopt benchdiff` compares two BENCH_flow.json files and fails
+// (exit 1) when any matched run's total or stage wall clock regressed
+// past the threshold — the CI perf gate against the committed
+// baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"primopt/internal/obs/analyze"
+)
+
+// runBenchDiff implements
+// `primopt benchdiff baseline.json current.json -max-regress 20%`.
+// Exit status: 0 within threshold, 1 regression, 2 usage or parse
+// error.
+func runBenchDiff(args []string) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ExitOnError)
+	maxRegress := fs.String("max-regress", "20%", "tolerated slowdown per stage and per run total (e.g. 20% or 0.2)")
+	minMS := fs.Float64("min-ms", 1, "ignore stages whose baseline is below this many milliseconds")
+	jsonOut := fs.Bool("json", false, "emit the full diff and verdicts as JSON instead of text")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: primopt benchdiff [flags] <baseline.json> <current.json>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	thresh, err := analyze.ParsePercent(*maxRegress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "primopt benchdiff:", err)
+		return 2
+	}
+	base, err := analyze.ReadBenchFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "primopt benchdiff:", err)
+		return 2
+	}
+	cur, err := analyze.ReadBenchFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "primopt benchdiff:", err)
+		return 2
+	}
+	opt := analyze.BenchOptions{MaxRegress: thresh, MinMS: *minMS}
+	d := analyze.DiffBench(base, cur)
+	regs := d.Regressions(opt)
+
+	if *jsonOut {
+		payload := struct {
+			*analyze.BenchDiff
+			Regressions []analyze.BenchRegression `json:"regressions"`
+		}{d, regs}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(payload); err != nil {
+			fmt.Fprintln(os.Stderr, "primopt benchdiff:", err)
+			return 2
+		}
+	} else {
+		if d.AMeta.Host != "" || d.BMeta.Host != "" {
+			fmt.Printf("baseline: %s %s @%s   current: %s %s @%s\n",
+				d.AMeta.GoVersion, d.AMeta.Host, shortCommit(d.AMeta.Commit),
+				d.BMeta.GoVersion, d.BMeta.Host, shortCommit(d.BMeta.Commit))
+		}
+		if err := d.Render(os.Stdout, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "primopt benchdiff:", err)
+			return 2
+		}
+		if len(regs) == 0 {
+			fmt.Printf("benchdiff: OK — no run regressed more than %s (floor %.3gms) across %d matched run(s)\n",
+				*maxRegress, *minMS, len(d.Matched))
+		}
+		for _, r := range regs {
+			fmt.Printf("benchdiff: REGRESSION %s %s: %.3fms -> %.3fms (%.2fx)\n",
+				r.RunKey, r.Stage, r.BaselineMS, r.CurrentMS, r.Ratio)
+		}
+	}
+	if len(regs) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -88,11 +88,19 @@ func printDegraded(mode flow.Mode, degraded map[string]string) {
 }
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "verify" {
-		os.Exit(runVerifyCmd(os.Args[2:]))
-	}
-	if len(os.Args) > 1 && os.Args[1] == "checktrace" {
-		os.Exit(runCheckTrace(os.Args[2:]))
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "verify":
+			os.Exit(runVerifyCmd(os.Args[2:]))
+		case "checktrace":
+			os.Exit(runCheckTrace(os.Args[2:]))
+		case "tracecmp":
+			os.Exit(runTraceCmp(os.Args[2:]))
+		case "report":
+			os.Exit(runReport(os.Args[2:]))
+		case "benchdiff":
+			os.Exit(runBenchDiff(os.Args[2:]))
+		}
 	}
 	circuitName := flag.String("circuit", "", "benchmark circuit: csamp, ota5t, strongarm, rovco, telescopic")
 	mode := flag.String("mode", "all", "schematic, conventional, optimized, manual, or all")

@@ -13,12 +13,14 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
-	"sort"
 	"strings"
 	"time"
 
 	"primopt/internal/obs"
+	"primopt/internal/obs/analyze"
+	"primopt/internal/obs/telemetry"
 )
 
 // obsFlags carries the observability flag values from main.
@@ -26,6 +28,7 @@ type obsFlags struct {
 	trace      string // JSONL trace output path
 	metrics    bool   // print the end-of-run metrics table
 	verbose    bool   // live stage lines on stderr as spans end
+	telemetry  string // serve the live telemetry surface on this address
 	pprofAddr  string // serve net/http/pprof on this address
 	cpuprofile string // write a CPU profile here
 	memprofile string // write a heap profile here
@@ -37,10 +40,51 @@ func registerObsFlags(fs *flag.FlagSet, f *obsFlags) {
 	fs.StringVar(&f.trace, "trace", "", "write the run's span/metric trace as JSONL to this file")
 	fs.BoolVar(&f.metrics, "metrics", false, "print the end-of-run metrics table to stderr")
 	fs.BoolVar(&f.verbose, "v", false, "print live stage timings to stderr as spans finish")
+	fs.StringVar(&f.telemetry, "telemetry", "",
+		"serve live telemetry (/metrics, /spans, /healthz, /debug/pprof) on this address (e.g. :9187; :0 picks a free port)")
 	fs.StringVar(&f.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	fs.StringVar(&f.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&f.memprofile, "memprofile", "", "write a heap profile to this file")
 	fs.StringVar(&f.benchOut, "bench-out", "", "write per-stage wall-clock timings as JSON to this file")
+}
+
+// metaClock stamps trace metadata; a package variable so tests can
+// pin the timestamp.
+var metaClock = time.Now
+
+// buildCommit resolves the commit the binary was built from: explicit
+// env overrides first (CI exports GITHUB_SHA; PRIMOPT_COMMIT wins for
+// local pinning), then the VCS stamp Go embeds into module builds.
+// Empty when nothing is known — the field is omitted, never guessed.
+func buildCommit() string {
+	for _, key := range []string{"PRIMOPT_COMMIT", "GITHUB_SHA"} {
+		if v := os.Getenv(key); v != "" {
+			return v
+		}
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	return ""
+}
+
+// buildMeta stamps the run context every exported trace carries.
+func buildMeta() obs.Meta {
+	host, err := os.Hostname()
+	if err != nil {
+		host = "unknown"
+	}
+	return obs.Meta{
+		Schema:    obs.TraceSchema,
+		GoVersion: runtime.Version(),
+		Host:      host,
+		StartTime: metaClock().UTC().Format(time.RFC3339),
+		Commit:    buildCommit(),
+	}
 }
 
 // setupObs installs the process-wide trace and profiling hooks. The
@@ -48,13 +92,24 @@ func registerObsFlags(fs *flag.FlagSet, f *obsFlags) {
 // profiles; call it once after the run (including on the error path,
 // so partial traces still land on disk).
 func setupObs(f obsFlags) (func() error, error) {
-	enabled := f.trace != "" || f.metrics || f.verbose || f.benchOut != ""
+	enabled := f.trace != "" || f.metrics || f.verbose || f.benchOut != "" || f.telemetry != ""
 	if enabled {
 		tr := obs.New()
+		tr.SetMeta(buildMeta())
+		tr.SetMemAttribution(true)
 		if f.verbose {
 			tr.OnSpanEnd(liveStageLine)
 		}
 		obs.SetDefault(tr)
+	}
+	var telemetrySrv *telemetry.Server
+	if f.telemetry != "" {
+		srv, err := telemetry.Start(f.telemetry, obs.Default())
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: %w", err)
+		}
+		telemetrySrv = srv
+		fmt.Fprintf(os.Stderr, "telemetry listening on http://%s\n", srv.Addr())
 	}
 	if f.cpuprofile != "" {
 		cf, err := os.Create(f.cpuprofile)
@@ -119,6 +174,11 @@ func setupObs(f obsFlags) (func() error, error) {
 		if f.metrics {
 			fmt.Fprint(os.Stderr, tr.MetricsTable())
 		}
+		// The telemetry surface stays up through the flushes above so a
+		// watcher can scrape final numbers, then comes down last.
+		if err := telemetrySrv.Close(); err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
 		return nil
 	}
 	return finish, nil
@@ -138,34 +198,27 @@ func liveStageLine(s *obs.Span) {
 	fmt.Fprintf(os.Stderr, "[obs] %-18s %10s%s\n", name, s.Dur().Round(time.Microsecond), extra)
 }
 
-// benchRun is the per-flow.run entry of the bench JSON.
-type benchRun struct {
-	Circuit string `json:"circuit"`
-	Mode    string `json:"mode"`
-	Cache   bool   `json:"cache"`
-	// Replicas is the placer's annealing-replica count (0 for runs
-	// predating the replica engine or without a placement stage);
-	// PlaceBestCost is the winning replica's annealing cost, so a
-	// replicas>1 entry can be compared against the single-chain one
-	// at equal-or-better quality, not just on wall time.
-	Replicas      int                `json:"place_replicas,omitempty"`
-	PlaceBestCost float64            `json:"place_best_cost,omitempty"`
-	TotalMS       float64            `json:"total_ms"`
-	Sims          float64            `json:"sims,omitempty"`
-	Stages        map[string]float64 `json:"stages_ms"`
-}
-
-// key identifies the run configuration a bench entry measures; a new
-// measurement of the same configuration replaces the old one.
-func (b benchRun) key() string {
-	return fmt.Sprintf("%s|%s|%t|r%d", b.Circuit, b.Mode, b.Cache, b.Replicas)
+// attrInt64 reads a numeric span attribute (JSON numbers arrive as
+// float64 after the export round-trip; live attrs may still be int64).
+func attrInt64(attrs map[string]any, key string) int64 {
+	switch v := attrs[key].(type) {
+	case float64:
+		return int64(v)
+	case int64:
+		return v
+	case int:
+		return int64(v)
+	}
+	return 0
 }
 
 // writeBench distills the trace's flow.run spans into a small JSON
-// benchmark artifact: wall-clock per stage, per run. It merges into
-// an existing file — entries for other (circuit, mode, cache)
+// benchmark artifact: wall-clock per stage plus the cache accounting,
+// per run, stamped with the run environment. It merges into an
+// existing file — entries for other (circuit, mode, cache, replicas)
 // configurations are kept — so repeated partial runs accumulate a
-// before/after perf trajectory instead of clobbering each other.
+// before/after perf trajectory instead of clobbering each other. The
+// meta block always reflects the newest write.
 func writeBench(tr *obs.Trace, path string) error {
 	var buf strings.Builder
 	if err := tr.WriteJSONL(&buf); err != nil {
@@ -175,22 +228,28 @@ func writeBench(tr *obs.Trace, path string) error {
 	if err != nil {
 		return err
 	}
-	var runs []benchRun
-	if prev, err := os.ReadFile(path); err == nil {
-		var old struct {
-			Runs []benchRun `json:"runs"`
-		}
-		// A malformed existing file is simply overwritten.
-		if json.Unmarshal(prev, &old) == nil {
-			runs = old.Runs
+	bf := &analyze.BenchFile{}
+	// A missing or malformed existing file is simply overwritten.
+	if prev, err := analyze.ReadBenchFile(path); err == nil {
+		bf.Runs = prev.Runs
+	}
+	if d.Meta != nil {
+		bf.Meta = analyze.BenchMeta{
+			GoVersion: d.Meta.GoVersion,
+			Host:      d.Meta.Host,
+			Commit:    d.Meta.Commit,
+			Timestamp: d.Meta.StartTime,
 		}
 	}
 	for _, root := range d.SpansNamed("flow.run") {
-		br := benchRun{
-			Circuit: attrString(root.Attrs, "circuit"),
-			Mode:    attrString(root.Attrs, "mode"),
-			TotalMS: float64(root.DurUS) / 1e3,
-			Stages:  map[string]float64{},
+		br := analyze.BenchRun{
+			Circuit:        attrString(root.Attrs, "circuit"),
+			Mode:           attrString(root.Attrs, "mode"),
+			TotalMS:        float64(root.DurUS) / 1e3,
+			EvcacheHits:    attrInt64(root.Attrs, "cache_hits"),
+			EvcacheMisses:  attrInt64(root.Attrs, "cache_misses"),
+			DuplicateDecks: attrInt64(root.Attrs, "duplicate_decks"),
+			Stages:         map[string]float64{},
 		}
 		if v, ok := root.Attrs["cache"].(bool); ok {
 			br.Cache = v
@@ -219,30 +278,19 @@ func writeBench(tr *obs.Trace, path string) error {
 			}
 		}
 		replaced := false
-		for i := range runs {
-			if runs[i].key() == br.key() {
-				runs[i] = br
+		for i := range bf.Runs {
+			if bf.Runs[i].Key() == br.Key() {
+				bf.Runs[i] = br
 				replaced = true
 				break
 			}
 		}
 		if !replaced {
-			runs = append(runs, br)
+			bf.Runs = append(bf.Runs, br)
 		}
 	}
-	sort.Slice(runs, func(i, j int) bool {
-		if runs[i].Circuit != runs[j].Circuit {
-			return runs[i].Circuit < runs[j].Circuit
-		}
-		if runs[i].Mode != runs[j].Mode {
-			return runs[i].Mode < runs[j].Mode
-		}
-		if runs[i].Cache != runs[j].Cache {
-			return !runs[i].Cache
-		}
-		return runs[i].Replicas < runs[j].Replicas
-	})
-	out, err := json.MarshalIndent(map[string]any{"runs": runs}, "", "  ")
+	bf.SortRuns()
+	out, err := json.MarshalIndent(bf, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -302,6 +350,28 @@ func runCheckTrace(args []string) int {
 	}
 
 	var problems []string
+	// Trace metadata: every trace the instrumented CLI writes carries a
+	// meta record attributing the measurement to a build and host; a
+	// trace without one (or with garbage fields) cannot be compared
+	// against another run, which is the whole point of exporting it.
+	if d.Meta == nil {
+		problems = append(problems, "missing meta record (trace predates schema 1 or was written without SetMeta)")
+	} else {
+		if d.Meta.Schema != obs.TraceSchema {
+			problems = append(problems, fmt.Sprintf("meta schema %d != supported schema %d", d.Meta.Schema, obs.TraceSchema))
+		}
+		if d.Meta.GoVersion == "" {
+			problems = append(problems, "meta missing go_version")
+		}
+		if d.Meta.Host == "" {
+			problems = append(problems, "meta missing host")
+		}
+		if d.Meta.StartTime == "" {
+			problems = append(problems, "meta missing start_time")
+		} else if _, err := time.Parse(time.RFC3339, d.Meta.StartTime); err != nil {
+			problems = append(problems, fmt.Sprintf("meta start_time %q is not RFC3339: %v", d.Meta.StartTime, err))
+		}
+	}
 	for _, name := range requiredStageSpans {
 		if d.Span(name) == nil {
 			problems = append(problems, fmt.Sprintf("missing required span %q", name))
@@ -439,6 +509,13 @@ func runCheckTrace(args []string) int {
 			problems = append(problems, fmt.Sprintf("span %q (id %d) has unknown parent %d", s.Name, s.ID, s.Parent))
 		}
 	}
+
+	// Timing sanity: no span may have negative self-time — children
+	// whose wall-clock union exceeds the parent's own duration. The
+	// union (not the sum) is compared, so legitimately concurrent
+	// children never trip this; the tolerance absorbs the microsecond
+	// truncation of the wire format.
+	problems = append(problems, analyze.SelfTimeViolations(analyze.BuildTree(d), 100)...)
 
 	if len(problems) > 0 {
 		for _, p := range problems {

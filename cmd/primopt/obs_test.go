@@ -1,0 +1,420 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"primopt/internal/obs"
+	"primopt/internal/obs/analyze"
+)
+
+// pinClock fixes the meta timestamp for the duration of a test.
+func pinClock(t *testing.T) time.Time {
+	t.Helper()
+	fixed := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	old := metaClock
+	metaClock = func() time.Time { return fixed }
+	t.Cleanup(func() { metaClock = old })
+	return fixed
+}
+
+// keepDefault saves and restores the process-wide trace around a test
+// that runs setupObs (which installs its own).
+func keepDefault(t *testing.T) {
+	t.Helper()
+	old := obs.Default()
+	t.Cleanup(func() { obs.SetDefault(old) })
+}
+
+// captureStderr runs f with os.Stderr redirected into a pipe and
+// returns what was written (setupObs reports the bound telemetry
+// address there).
+func captureStderr(t *testing.T, f func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stderr
+	os.Stderr = w
+	defer func() { os.Stderr = old }()
+	f()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestRegisterObsFlagsParsing(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var f obsFlags
+	registerObsFlags(fs, &f)
+	err := fs.Parse([]string{
+		"-trace", "t.jsonl", "-metrics", "-v",
+		"-telemetry", ":0", "-pprof", "localhost:6060",
+		"-cpuprofile", "cpu.out", "-memprofile", "mem.out",
+		"-bench-out", "bench.json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.trace != "t.jsonl" || !f.metrics || !f.verbose || f.telemetry != ":0" ||
+		f.pprofAddr != "localhost:6060" || f.cpuprofile != "cpu.out" ||
+		f.memprofile != "mem.out" || f.benchOut != "bench.json" {
+		t.Errorf("parsed flags = %+v", f)
+	}
+	// Defaults: everything off.
+	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
+	var f2 obsFlags
+	registerObsFlags(fs2, &f2)
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f2 != (obsFlags{}) {
+		t.Errorf("default flags = %+v, want zero value", f2)
+	}
+}
+
+func TestBuildMetaStampsRunContext(t *testing.T) {
+	fixed := pinClock(t)
+	t.Setenv("PRIMOPT_COMMIT", "abc123def456")
+	m := buildMeta()
+	if m.Schema != obs.TraceSchema {
+		t.Errorf("schema = %d", m.Schema)
+	}
+	if !strings.HasPrefix(m.GoVersion, "go") {
+		t.Errorf("go_version = %q", m.GoVersion)
+	}
+	if m.Host == "" {
+		t.Error("host empty")
+	}
+	if m.StartTime != fixed.Format(time.RFC3339) {
+		t.Errorf("start_time = %q, want pinned clock", m.StartTime)
+	}
+	if m.Commit != "abc123def456" {
+		t.Errorf("commit = %q, want env override", m.Commit)
+	}
+}
+
+// The core flag-plumbing path: -trace and -bench-out through setupObs
+// and its finish hook, producing a meta-stamped trace file and a bench
+// file carrying the run's cache accounting.
+func TestSetupObsTraceAndBenchOut(t *testing.T) {
+	pinClock(t)
+	keepDefault(t)
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	benchPath := filepath.Join(dir, "bench.json")
+
+	finish, err := setupObs(obsFlags{trace: tracePath, benchOut: benchPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.Default()
+	if !tr.Enabled() {
+		t.Fatal("setupObs did not install a default trace")
+	}
+	// Simulate a flow run's root span with the accounting attrs the
+	// real flow sets.
+	root := tr.Start("flow.run")
+	root.SetAttr("circuit", "csamp")
+	root.SetAttr("mode", "optimized")
+	root.SetAttr("cache", true)
+	root.SetAttr("sims", 42.0)
+	root.SetAttr("cache_hits", int64(10))
+	root.SetAttr("cache_misses", int64(30))
+	root.SetAttr("duplicate_decks", int64(3))
+	root.Start("flow.place").End()
+	root.End()
+
+	out := captureStderr(t, func() {
+		if err := finish(); err != nil {
+			t.Errorf("finish: %v", err)
+		}
+	})
+	if !strings.Contains(out, "wrote trace") || !strings.Contains(out, "wrote bench") {
+		t.Errorf("finish output = %q", out)
+	}
+
+	tf, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	d, err := obs.ReadJSONL(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Meta == nil || d.Meta.Schema != obs.TraceSchema || d.Meta.StartTime != "2026-08-08T12:00:00Z" {
+		t.Errorf("trace meta = %+v", d.Meta)
+	}
+
+	bf, err := analyze.ReadBenchFile(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.Meta.Timestamp != "2026-08-08T12:00:00Z" || bf.Meta.GoVersion == "" {
+		t.Errorf("bench meta = %+v", bf.Meta)
+	}
+	if len(bf.Runs) != 1 {
+		t.Fatalf("bench runs = %+v", bf.Runs)
+	}
+	br := bf.Runs[0]
+	if br.Circuit != "csamp" || !br.Cache || br.EvcacheHits != 10 ||
+		br.EvcacheMisses != 30 || br.DuplicateDecks != 3 || br.Sims != 42 {
+		t.Errorf("bench run = %+v", br)
+	}
+	if _, ok := br.Stages["flow.place"]; !ok {
+		t.Errorf("bench run missing stage timings: %+v", br.Stages)
+	}
+
+	// A second write merges: same key replaces, other keys survive.
+	finish2, err := setupObs(obsFlags{benchOut: benchPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2 := obs.Default()
+	r2 := tr2.Start("flow.run")
+	r2.SetAttr("circuit", "ota5t")
+	r2.SetAttr("mode", "optimized")
+	r2.SetAttr("cache", true)
+	r2.End()
+	_ = captureStderr(t, func() {
+		if err := finish2(); err != nil {
+			t.Errorf("finish2: %v", err)
+		}
+	})
+	bf, err = analyze.ReadBenchFile(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bf.Runs) != 2 {
+		t.Errorf("merged bench runs = %d, want 2 (csamp kept, ota5t added)", len(bf.Runs))
+	}
+}
+
+// The -telemetry flag plumbing: setupObs binds the listener, reports
+// the address on stderr, the surface serves, and finish tears it down.
+func TestSetupObsTelemetryFlag(t *testing.T) {
+	pinClock(t)
+	keepDefault(t)
+	var finish func() error
+	out := captureStderr(t, func() {
+		var err error
+		finish, err = setupObs(obsFlags{telemetry: "127.0.0.1:0"})
+		if err != nil {
+			t.Errorf("setupObs: %v", err)
+		}
+	})
+	if finish == nil {
+		t.Fatal("setupObs failed")
+	}
+	const marker = "telemetry listening on http://"
+	idx := strings.Index(out, marker)
+	if idx < 0 {
+		t.Fatalf("no telemetry address on stderr: %q", out)
+	}
+	addr := strings.TrimSpace(out[idx+len(marker):])
+	addr = strings.SplitN(addr, "\n", 2)[0]
+
+	obs.Default().Counter("spice.decks").Add(5)
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "primopt_spice_decks 5") {
+		t.Errorf("/metrics = %d %q", resp.StatusCode, body)
+	}
+	if resp, err := http.Get("http://" + addr + "/healthz"); err != nil {
+		t.Errorf("GET /healthz: %v", err)
+	} else if err := resp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := finish(); err != nil {
+		t.Errorf("finish: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("telemetry server still up after finish")
+	}
+}
+
+// writeTraceFile dumps raw JSONL lines for checktrace fixtures.
+func writeTraceFile(t *testing.T, dir, name string, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const validMetaLine = `{"type":"meta","schema":1,"go_version":"go1.24.0","host":"h","start_time":"2026-08-08T12:00:00Z"}`
+
+// conventionalTraceLines is a minimal structurally-valid conventional
+// run: all required stage spans, sane timing.
+func conventionalTraceLines(metaLine string) []string {
+	lines := []string{}
+	if metaLine != "" {
+		lines = append(lines, metaLine)
+	}
+	return append(lines,
+		`{"type":"span","id":1,"name":"flow.run","start_us":0,"dur_us":1000,"attrs":{"circuit":"csamp","mode":"conventional","cache":false}}`,
+		`{"type":"span","id":2,"parent":1,"name":"flow.schematic_op","start_us":0,"dur_us":100}`,
+		`{"type":"span","id":3,"parent":1,"name":"flow.primitives","start_us":100,"dur_us":200}`,
+		`{"type":"span","id":4,"parent":1,"name":"flow.place","start_us":300,"dur_us":300}`,
+		`{"type":"span","id":5,"parent":1,"name":"flow.route","start_us":600,"dur_us":200}`,
+		`{"type":"span","id":6,"parent":1,"name":"flow.assemble","start_us":800,"dur_us":100}`,
+		`{"type":"span","id":7,"parent":1,"name":"flow.eval","start_us":900,"dur_us":100}`,
+	)
+}
+
+func TestCheckTraceMetaValidation(t *testing.T) {
+	dir := t.TempDir()
+
+	good := writeTraceFile(t, dir, "good.jsonl", conventionalTraceLines(validMetaLine)...)
+	if rc := runCheckTrace([]string{good}); rc != 0 {
+		t.Errorf("valid trace rejected (exit %d)", rc)
+	}
+
+	noMeta := writeTraceFile(t, dir, "nometa.jsonl", conventionalTraceLines("")...)
+	var rc int
+	out := captureStderr(t, func() { rc = runCheckTrace([]string{noMeta}) })
+	if rc == 0 || !strings.Contains(out, "missing meta record") {
+		t.Errorf("meta-less trace: exit %d, stderr %q", rc, out)
+	}
+
+	badMeta := writeTraceFile(t, dir, "badmeta.jsonl", conventionalTraceLines(
+		`{"type":"meta","schema":99,"go_version":"","host":"h","start_time":"yesterday"}`)...)
+	out = captureStderr(t, func() { rc = runCheckTrace([]string{badMeta}) })
+	if rc == 0 {
+		t.Error("garbage meta accepted")
+	}
+	for _, want := range []string{"schema 99", "missing go_version", "not RFC3339"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bad-meta stderr missing %q: %q", want, out)
+		}
+	}
+}
+
+func TestCheckTraceRejectsNegativeSelfTime(t *testing.T) {
+	dir := t.TempDir()
+	// flow.eval's child intervals cover 900µs inside a 100µs span —
+	// impossible timing, far past the tolerance.
+	lines := append(conventionalTraceLines(validMetaLine),
+		`{"type":"span","id":8,"parent":7,"name":"spice.tran","start_us":900,"dur_us":900}`)
+	bad := writeTraceFile(t, dir, "negself.jsonl", lines...)
+	var rc int
+	out := captureStderr(t, func() { rc = runCheckTrace([]string{bad}) })
+	if rc == 0 || !strings.Contains(out, "negative self-time") {
+		t.Errorf("negative self-time trace: exit %d, stderr %q", rc, out)
+	}
+
+	// Concurrent children that fit inside the parent are fine: two
+	// overlapping 250µs children under the 300µs flow.place.
+	lines = append(conventionalTraceLines(validMetaLine),
+		`{"type":"span","id":8,"parent":4,"name":"place.w1","start_us":300,"dur_us":250}`,
+		`{"type":"span","id":9,"parent":4,"name":"place.w2","start_us":320,"dur_us":250}`)
+	ok := writeTraceFile(t, dir, "concurrent.jsonl", lines...)
+	if rc := runCheckTrace([]string{ok}); rc != 0 {
+		t.Errorf("concurrent children rejected (exit %d)", rc)
+	}
+}
+
+// End-to-end over the CLI entry points: tracecmp fails on a seeded
+// regression and passes on identical traces; benchdiff gates a 2x
+// stage slowdown.
+func TestTraceCmpAndBenchDiffExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	base := writeTraceFile(t, dir, "a.jsonl", conventionalTraceLines(validMetaLine)...)
+	// Seed a 3x regression into flow.place (300µs -> 900µs); index 4
+	// of the fixture lines (after the meta line) is flow.place.
+	slow := conventionalTraceLines(validMetaLine)
+	slow[4] = `{"type":"span","id":4,"parent":1,"name":"flow.place","start_us":300,"dur_us":900}`
+	cur := writeTraceFile(t, dir, "b.jsonl", slow...)
+
+	// The renderers write their tables to stdout; capture so the test
+	// log stays readable — only the exit codes are asserted.
+	quiet := func(f func() int) int {
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		old := os.Stdout
+		os.Stdout = w
+		rc := f()
+		os.Stdout = old
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.ReadAll(r); err != nil {
+			t.Fatal(err)
+		}
+		return rc
+	}
+	if rc := quiet(func() int {
+		return runTraceCmp([]string{"-max-regress", "20%", "-min-us", "100", base, cur})
+	}); rc != 1 {
+		t.Errorf("tracecmp on seeded regression = %d, want 1", rc)
+	}
+	if rc := quiet(func() int {
+		return runTraceCmp([]string{"-max-regress", "20%", "-min-us", "100", base, base})
+	}); rc != 0 {
+		t.Errorf("tracecmp on identical traces = %d, want 0", rc)
+	}
+	if rc := quiet(func() int { return runReport([]string{"-top", "3", base}) }); rc != 0 {
+		t.Errorf("report = %d, want 0", rc)
+	}
+
+	baseBench := filepath.Join(dir, "base.json")
+	curBench := filepath.Join(dir, "cur.json")
+	writeBenchFixture(t, baseBench, 50)
+	writeBenchFixture(t, curBench, 100)
+	if rc := quiet(func() int {
+		return runBenchDiff([]string{"-max-regress", "20%", "-min-ms", "5", baseBench, curBench})
+	}); rc != 1 {
+		t.Errorf("benchdiff on 2x slowdown = %d, want 1", rc)
+	}
+	if rc := quiet(func() int {
+		return runBenchDiff([]string{"-max-regress", "20%", "-min-ms", "5", baseBench, baseBench})
+	}); rc != 0 {
+		t.Errorf("benchdiff on identical files = %d, want 0", rc)
+	}
+}
+
+func writeBenchFixture(t *testing.T, path string, placeMS float64) {
+	t.Helper()
+	bf := &analyze.BenchFile{
+		Meta: analyze.BenchMeta{GoVersion: "go1.24.0", Host: "h", Timestamp: "2026-08-08T12:00:00Z"},
+		Runs: []analyze.BenchRun{{
+			Circuit: "csamp", Mode: "optimized", Cache: true,
+			TotalMS: placeMS + 30,
+			Stages:  map[string]float64{"flow.place": placeMS, "flow.route": 20},
+		}},
+	}
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

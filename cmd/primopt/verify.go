@@ -23,6 +23,8 @@ func runVerifyCmd(args []string) int {
 	stages := fs.Int("stages", 8, "RO-VCO stage count")
 	seed := fs.Int64("seed", 1, "placement seed")
 	placeReplicas := fs.Int("place-replicas", 1, "independently seeded annealing replicas in the placer")
+	var of obsFlags
+	registerObsFlags(fs, &of)
 	var ff faultFlags
 	registerFaultFlags(fs, &ff)
 	fs.Usage = func() {
@@ -40,6 +42,18 @@ func runVerifyCmd(args []string) int {
 		fmt.Fprintf(os.Stderr, "primopt verify: unknown format %q\n", *format)
 		return 2
 	}
+	finishObs, err := setupObs(of)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "primopt verify:", err)
+		return 2
+	}
+	// Flush traces and close the telemetry listener on every exit path,
+	// including violation and error returns.
+	defer func() {
+		if err := finishObs(); err != nil {
+			fmt.Fprintln(os.Stderr, "primopt verify: observability flush:", err)
+		}
+	}()
 
 	tech := pdk.Default()
 	if err := tech.Validate(); err != nil {

@@ -192,12 +192,27 @@ func RunContext(ctx context.Context, t *pdk.Tech, bm *circuits.Benchmark, mode M
 	root.SetAttr("mode", mode.String())
 	root.SetAttr("seed", p.Seed)
 	root.SetAttr("cache", p.Optimize.Cache != nil)
+	// The deck-dedup counter lives on the process-wide sink (the spice
+	// layer reports there, not to an injected trace) and spans the whole
+	// trace; the delta across this run attributes redundant decks to it
+	// specifically, even when one trace holds several runs (-mode all).
+	dups0 := obs.Default().Counter("spice.duplicate_decks").Value()
 	defer func() {
 		res.Runtime = time.Since(start) //lint:allow rngpurity wall time feeds Result.Runtime reporting metadata only, never layout or metric values
 		root.SetAttr("sims", res.Sims)
 		if len(res.Degraded) > 0 {
 			root.SetAttr("degraded", len(res.Degraded))
 		}
+		// Per-run cache and redundancy accounting, so the bench writer
+		// (and anyone reading the trace) can explain a run's wall clock:
+		// a cache-on run slower than cache-off shows its misses dwarfing
+		// its hits right here on the root span.
+		if c := p.Optimize.Cache; c != nil {
+			st := c.Stats()
+			root.SetAttr("cache_hits", st.Hits)
+			root.SetAttr("cache_misses", st.Misses)
+		}
+		root.SetAttr("duplicate_decks", obs.Default().Counter("spice.duplicate_decks").Value()-dups0)
 		root.End()
 	}()
 

@@ -1,0 +1,240 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"primopt/internal/obs"
+)
+
+// Options tunes regression detection for trace diffs.
+type Options struct {
+	// MaxRegress is the tolerated fractional slowdown: 0.2 flags
+	// anything more than 20% slower than the baseline.
+	MaxRegress float64
+	// MinUS ignores span families whose baseline total is below this
+	// floor — microsecond stages are measurement noise, not signal.
+	MinUS int64
+}
+
+// SpanDelta compares one span family across two traces (A = baseline,
+// B = current). Zero counts mean the family is absent on that side.
+type SpanDelta struct {
+	Name     string `json:"name"`
+	ACount   int64  `json:"a_count"`
+	BCount   int64  `json:"b_count"`
+	ATotalUS int64  `json:"a_total_us"`
+	BTotalUS int64  `json:"b_total_us"`
+	ASelfUS  int64  `json:"a_self_us"`
+	BSelfUS  int64  `json:"b_self_us"`
+	AMaxUS   int64  `json:"a_max_us"`
+	BMaxUS   int64  `json:"b_max_us"`
+}
+
+// TotalRatio returns BTotal/ATotal (+Inf for a new family, 0 for a
+// vanished one, 1 for both-empty).
+func (d SpanDelta) TotalRatio() float64 {
+	switch {
+	case d.ATotalUS > 0:
+		return float64(d.BTotalUS) / float64(d.ATotalUS)
+	case d.BTotalUS > 0:
+		return float64(d.BTotalUS) // effectively infinite; render handles it
+	default:
+		return 1
+	}
+}
+
+// MetricDelta compares one metric across two traces. For histograms
+// A/B carry the sums and AP95/BP95 the p95 estimates.
+type MetricDelta struct {
+	Name string  `json:"name"`
+	Kind string  `json:"kind"`
+	A    float64 `json:"a"`
+	B    float64 `json:"b"`
+	AP95 float64 `json:"a_p95,omitempty"`
+	BP95 float64 `json:"b_p95,omitempty"`
+}
+
+// TraceDiff is the structured comparison of two traces.
+type TraceDiff struct {
+	AMeta   *obs.Meta     `json:"a_meta,omitempty"`
+	BMeta   *obs.Meta     `json:"b_meta,omitempty"`
+	Spans   []SpanDelta   `json:"spans"`
+	Metrics []MetricDelta `json:"metrics"`
+	// APath/BPath are the critical paths of the longest root in each
+	// trace — where the wall clock went, before and after.
+	APath []PathStep `json:"a_path,omitempty"`
+	BPath []PathStep `json:"b_path,omitempty"`
+}
+
+// DiffTraces aggregates both traces per span name and joins the
+// results (union of names, sorted), alongside per-metric deltas.
+func DiffTraces(a, b *obs.Dump) *TraceDiff {
+	ta, tb := BuildTree(a), BuildTree(b)
+	sa, sb := ta.Aggregate(), tb.Aggregate()
+	byName := map[string]*SpanDelta{}
+	for _, st := range sa {
+		byName[st.Name] = &SpanDelta{
+			Name: st.Name, ACount: st.Count, ATotalUS: st.TotalUS,
+			ASelfUS: st.SelfUS, AMaxUS: st.MaxUS,
+		}
+	}
+	for _, st := range sb {
+		d := byName[st.Name]
+		if d == nil {
+			d = &SpanDelta{Name: st.Name}
+			byName[st.Name] = d
+		}
+		d.BCount, d.BTotalUS, d.BSelfUS, d.BMaxUS = st.Count, st.TotalUS, st.SelfUS, st.MaxUS
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	td := &TraceDiff{AMeta: a.Meta, BMeta: b.Meta}
+	for _, name := range names {
+		td.Spans = append(td.Spans, *byName[name])
+	}
+
+	ms := map[string]*MetricDelta{}
+	for _, m := range a.Metrics {
+		v, p95 := m.Value, 0.0
+		if m.Kind == "histogram" {
+			v, p95 = m.Sum, m.P95
+		}
+		ms[m.Name] = &MetricDelta{Name: m.Name, Kind: m.Kind, A: v, AP95: p95}
+	}
+	for _, m := range b.Metrics {
+		d := ms[m.Name]
+		if d == nil {
+			d = &MetricDelta{Name: m.Name, Kind: m.Kind}
+			ms[m.Name] = d
+		}
+		if m.Kind == "histogram" {
+			d.B, d.BP95 = m.Sum, m.P95
+		} else {
+			d.B = m.Value
+		}
+	}
+	mnames := make([]string, 0, len(ms))
+	for name := range ms {
+		mnames = append(mnames, name)
+	}
+	sort.Strings(mnames)
+	for _, name := range mnames {
+		td.Metrics = append(td.Metrics, *ms[name])
+	}
+
+	if r := ta.LongestRoot(); r != nil {
+		td.APath = CriticalPath(r)
+	}
+	if r := tb.LongestRoot(); r != nil {
+		td.BPath = CriticalPath(r)
+	}
+	return td
+}
+
+// Regression is one span family that got slower than the threshold
+// allows.
+type Regression struct {
+	Name  string  `json:"name"`
+	AUS   int64   `json:"a_us"`
+	BUS   int64   `json:"b_us"`
+	Ratio float64 `json:"ratio"` // BUS/AUS
+}
+
+// Regressions applies the threshold: span families above the MinUS
+// floor in the baseline whose current total exceeds
+// baseline*(1+MaxRegress). Families new in B above the floor count as
+// regressions too (a run that grew a new expensive stage regressed).
+func (td *TraceDiff) Regressions(opt Options) []Regression {
+	var out []Regression
+	for _, d := range td.Spans {
+		switch {
+		case d.ACount == 0 && d.BTotalUS >= opt.MinUS && d.BTotalUS > 0:
+			out = append(out, Regression{Name: d.Name + " (new)", AUS: 0, BUS: d.BTotalUS, Ratio: 0})
+		case d.ACount > 0 && d.ATotalUS >= opt.MinUS &&
+			float64(d.BTotalUS) > float64(d.ATotalUS)*(1+opt.MaxRegress):
+			out = append(out, Regression{
+				Name: d.Name, AUS: d.ATotalUS, BUS: d.BTotalUS,
+				Ratio: float64(d.BTotalUS) / float64(d.ATotalUS),
+			})
+		}
+	}
+	return out
+}
+
+// Render writes the human-readable comparison: the span table (sorted
+// by current total, descending), changed counters, and both critical
+// paths.
+func (td *TraceDiff) Render(w io.Writer, opt Options) error {
+	spans := append([]SpanDelta(nil), td.Spans...)
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].BTotalUS != spans[j].BTotalUS {
+			return spans[i].BTotalUS > spans[j].BTotalUS
+		}
+		return spans[i].Name < spans[j].Name
+	})
+	if _, err := fmt.Fprintf(w, "%-28s %10s %10s %8s %10s %10s\n",
+		"span", "a_ms", "b_ms", "delta", "a_self_ms", "b_self_ms"); err != nil {
+		return err
+	}
+	for _, d := range spans {
+		if d.ATotalUS < opt.MinUS && d.BTotalUS < opt.MinUS {
+			continue
+		}
+		delta := "new"
+		if d.ACount > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (d.TotalRatio()-1)*100)
+		}
+		if _, err := fmt.Fprintf(w, "%-28s %10.3f %10.3f %8s %10.3f %10.3f\n",
+			d.Name, float64(d.ATotalUS)/1e3, float64(d.BTotalUS)/1e3, delta,
+			float64(d.ASelfUS)/1e3, float64(d.BSelfUS)/1e3); err != nil {
+			return err
+		}
+	}
+	changed := 0
+	for _, m := range td.Metrics {
+		if m.A == m.B {
+			continue
+		}
+		if changed == 0 {
+			if _, err := fmt.Fprintf(w, "\n%-36s %14s %14s\n", "metric", "a", "b"); err != nil {
+				return err
+			}
+		}
+		changed++
+		if _, err := fmt.Fprintf(w, "%-36s %14.6g %14.6g\n", m.Name, m.A, m.B); err != nil {
+			return err
+		}
+	}
+	for _, side := range []struct {
+		label string
+		path  []PathStep
+	}{{"a", td.APath}, {"b", td.BPath}} {
+		if len(side.path) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "\ncritical path (%s):\n", side.label); err != nil {
+			return err
+		}
+		for _, s := range side.path {
+			if _, err := fmt.Fprintf(w, "  %s%s %.3fms (self %.3fms)\n",
+				indent(s.Depth), s.Name, float64(s.DurUS)/1e3, float64(s.SelfUS)/1e3); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func indent(depth int) string {
+	const pad = "                                                                "
+	n := depth * 2
+	if n > len(pad) {
+		n = len(pad)
+	}
+	return pad[:n]
+}

@@ -10,6 +10,29 @@ import (
 	"time"
 )
 
+// TraceSchema is the current trace-file schema version, bumped when
+// the JSONL wire form changes incompatibly. Version 1 introduced the
+// meta record, histogram quantiles, and alloc_bytes span attributes.
+const TraceSchema = 1
+
+// Meta describes the run that produced a trace — enough to attribute
+// a measurement to a build and host when traces from different
+// machines or commits are compared.
+type Meta struct {
+	Schema    int    `json:"schema,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
+	Host      string `json:"host,omitempty"`
+	StartTime string `json:"start_time,omitempty"` // RFC3339
+	Commit    string `json:"commit,omitempty"`
+}
+
+// MetaRecord is the JSONL wire form of the trace metadata, written as
+// the first line of the file when set.
+type MetaRecord struct {
+	Type string `json:"type"` // "meta"
+	Meta
+}
+
 // SpanRecord is the JSONL wire form of one span.
 type SpanRecord struct {
 	Type    string         `json:"type"` // "span"
@@ -31,6 +54,9 @@ type MetricRecord struct {
 	Sum   float64 `json:"sum,omitempty"`
 	Min   float64 `json:"min,omitempty"`
 	Max   float64 `json:"max,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P95   float64 `json:"p95,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
 }
 
 // snapshot flattens the trace under its lock: spans depth-first in
@@ -87,6 +113,7 @@ func (t *Trace) snapshot() ([]SpanRecord, []MetricRecord) {
 		metrics = append(metrics, MetricRecord{
 			Type: "metric", Kind: "histogram", Name: name,
 			Value: st.Mean(), Count: st.Count, Sum: st.Sum, Min: st.Min, Max: st.Max,
+			P50: st.P50, P95: st.P95, P99: st.P99,
 		})
 	}
 	t.reg.mu.RUnlock()
@@ -94,13 +121,27 @@ func (t *Trace) snapshot() ([]SpanRecord, []MetricRecord) {
 	return spans, metrics
 }
 
-// WriteJSONL streams the trace as one JSON object per line: spans
-// first (depth-first, parents before children), then metrics sorted
-// by name.
+// Snapshot flattens the live trace without stopping it: spans
+// depth-first in start order (unended spans report their running
+// duration), then metrics sorted by name. It is the data source for
+// both the JSONL export and the live /spans + /metrics telemetry
+// endpoints, safe to call mid-run from any goroutine.
+func (t *Trace) Snapshot() ([]SpanRecord, []MetricRecord) {
+	return t.snapshot()
+}
+
+// WriteJSONL streams the trace as one JSON object per line: the meta
+// record when set, then spans (depth-first, parents before
+// children), then metrics sorted by name.
 func (t *Trace) WriteJSONL(w io.Writer) error {
 	spans, metrics := t.snapshot()
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
+	if m, ok := t.Meta(); ok {
+		if err := enc.Encode(MetaRecord{Type: "meta", Meta: m}); err != nil {
+			return err
+		}
+	}
 	for _, s := range spans {
 		if err := enc.Encode(s); err != nil {
 			return err
@@ -116,6 +157,7 @@ func (t *Trace) WriteJSONL(w io.Writer) error {
 
 // Dump is a parsed JSONL trace.
 type Dump struct {
+	Meta    *Meta // nil for traces predating the meta record
 	Spans   []SpanRecord
 	Metrics []MetricRecord
 }
@@ -139,6 +181,12 @@ func ReadJSONL(r io.Reader) (*Dump, error) {
 			return nil, fmt.Errorf("obs: line %d: %w", line, err)
 		}
 		switch probe.Type {
+		case "meta":
+			var m MetaRecord
+			if err := json.Unmarshal([]byte(text), &m); err != nil {
+				return nil, fmt.Errorf("obs: line %d: %w", line, err)
+			}
+			d.Meta = &m.Meta
 		case "span":
 			var s SpanRecord
 			if err := json.Unmarshal([]byte(text), &s); err != nil {
@@ -268,8 +316,8 @@ func (t *Trace) MetricsTable() string {
 	for _, m := range metrics {
 		switch m.Kind {
 		case "histogram":
-			fmt.Fprintf(&b, "%-*s  n=%d mean=%.4g min=%.4g max=%.4g sum=%.4g\n",
-				w, m.Name, m.Count, m.Value, m.Min, m.Max, m.Sum)
+			fmt.Fprintf(&b, "%-*s  n=%d mean=%.4g min=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g sum=%.4g\n",
+				w, m.Name, m.Count, m.Value, m.Min, m.P50, m.P95, m.P99, m.Max, m.Sum)
 		case "gauge":
 			fmt.Fprintf(&b, "%-*s  %.6g\n", w, m.Name, m.Value)
 		default:

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -56,13 +57,51 @@ func (g *Gauge) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
-// Histogram aggregates observations as count/sum/min/max — enough
-// for timing and rate distributions without bucket configuration.
+// Histogram aggregates observations as count/sum/min/max plus a
+// log-scaled bucket sketch that yields p50/p95/p99 estimates with
+// bounded memory and no bucket configuration. The sketch is
+// order-independent (a bucket increment commutes), so concurrent
+// observers produce identical quantiles regardless of interleaving —
+// the same determinism contract the rest of obs keeps.
 type Histogram struct {
 	mu       sync.Mutex
 	count    int64
 	sum      float64
 	min, max float64
+	nonpos   int64         // observations <= 0 (kept out of the log sketch)
+	buckets  map[int]int64 // log-scaled sketch of the positive observations
+}
+
+// histSubBuckets sub-buckets per power of two bound the relative
+// quantile error at 1/(2*histSubBuckets) ≈ 6%.
+const histSubBuckets = 8
+
+// histExpBias shifts Frexp exponents positive so one int indexes the
+// whole float64 range (subnormals bottom out near exp -1074).
+const histExpBias = 1100
+
+// bucketIndex maps a positive value to its sketch bucket: the Frexp
+// exponent selects the octave, the mantissa one of histSubBuckets
+// linear sub-buckets within it.
+func bucketIndex(v float64) int {
+	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
+	sub := int((frac - 0.5) * 2 * histSubBuckets)
+	if sub >= histSubBuckets {
+		sub = histSubBuckets - 1
+	}
+	if sub < 0 {
+		sub = 0
+	}
+	return (exp+histExpBias)*histSubBuckets + sub
+}
+
+// bucketBounds returns a bucket's value range.
+func bucketBounds(idx int) (lo, hi float64) {
+	exp := idx/histSubBuckets - histExpBias
+	sub := idx % histSubBuckets
+	lo = math.Ldexp(0.5+0.5*float64(sub)/histSubBuckets, exp)
+	hi = math.Ldexp(0.5+0.5*float64(sub+1)/histSubBuckets, exp)
+	return lo, hi
 }
 
 // Observe records one value (no-op on nil).
@@ -79,13 +118,57 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.count++
 	h.sum += v
+	if v > 0 && !math.IsInf(v, 1) && !math.IsNaN(v) {
+		if h.buckets == nil {
+			h.buckets = make(map[int]int64, 16)
+		}
+		h.buckets[bucketIndex(v)]++
+	} else {
+		h.nonpos++
+	}
 	h.mu.Unlock()
 }
 
-// HistStats is a histogram snapshot.
+// quantileLocked estimates the q-quantile (nearest rank) from the
+// sketch: non-positive mass sits at the bottom represented by min,
+// positive mass at each bucket's midpoint clamped to [min, max].
+func (h *Histogram) quantileLocked(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(q*float64(h.count-1) + 0.5)
+	cum := h.nonpos
+	if rank < cum {
+		return h.min
+	}
+	idxs := make([]int, 0, len(h.buckets))
+	for i := range h.buckets {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		cum += h.buckets[i]
+		if rank < cum {
+			lo, hi := bucketBounds(i)
+			mid := (lo + hi) / 2
+			if mid < h.min {
+				mid = h.min
+			}
+			if mid > h.max {
+				mid = h.max
+			}
+			return mid
+		}
+	}
+	return h.max
+}
+
+// HistStats is a histogram snapshot. P50/P95/P99 are sketch
+// estimates with ~6% relative error (exact for the min/max ends).
 type HistStats struct {
 	Count         int64
 	Sum, Min, Max float64
+	P50, P95, P99 float64
 }
 
 // Mean returns Sum/Count (0 when empty).
@@ -103,7 +186,12 @@ func (h *Histogram) Stats() HistStats {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return HistStats{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	return HistStats{
+		Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+		P50: h.quantileLocked(0.50),
+		P95: h.quantileLocked(0.95),
+		P99: h.quantileLocked(0.99),
+	}
 }
 
 // Counter returns (creating on first use) the named counter, or nil

@@ -24,6 +24,7 @@
 package obs
 
 import (
+	rtmetrics "runtime/metrics"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,12 +35,15 @@ import (
 type Trace struct {
 	start time.Time
 
-	mu    sync.Mutex
-	seq   int64
-	roots []*Span
+	mu      sync.Mutex
+	seq     int64
+	roots   []*Span
+	meta    Meta
+	hasMeta bool
 
 	reg registry
 
+	memAttr   atomic.Bool
 	onSpanEnd atomic.Value // func(*Span)
 }
 
@@ -61,6 +65,60 @@ func (t *Trace) OnSpanEnd(fn func(*Span)) {
 	t.onSpanEnd.Store(fn)
 }
 
+// SetMeta attaches run metadata to the trace; WriteJSONL emits it as
+// the first record so consumers (checktrace, tracecmp, benchdiff)
+// can attribute measurements to a build and host.
+func (t *Trace) SetMeta(m Meta) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.meta = m
+	t.hasMeta = true
+	t.mu.Unlock()
+}
+
+// Meta returns the attached run metadata and whether any was set.
+func (t *Trace) Meta() (Meta, bool) {
+	if t == nil {
+		return Meta{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.meta, t.hasMeta
+}
+
+// SetMemAttribution toggles per-span heap-allocation attribution:
+// every span started while enabled records the delta of the
+// process-wide cumulative allocation counter (runtime/metrics
+// /gc/heap/allocs:bytes) between its Start and End as an
+// "alloc_bytes" attribute. The counter is process-wide, so spans
+// running concurrently each absorb the whole interval's allocations —
+// treat the attribute as an upper bound, exact for serial stages.
+// Reading the counter never perturbs program behavior, so the
+// traced-equals-untraced determinism contract holds.
+func (t *Trace) SetMemAttribution(on bool) {
+	if t == nil {
+		return
+	}
+	t.memAttr.Store(on)
+}
+
+// allocSample is the runtime/metrics key for cumulative heap
+// allocation since process start (monotonic, includes freed memory).
+const allocSample = "/gc/heap/allocs:bytes"
+
+// heapAllocBytes reads the cumulative allocation counter (0 when the
+// runtime does not expose it).
+func heapAllocBytes() uint64 {
+	s := []rtmetrics.Sample{{Name: allocSample}}
+	rtmetrics.Read(s)
+	if s[0].Value.Kind() == rtmetrics.KindUint64 {
+		return s[0].Value.Uint64()
+	}
+	return 0
+}
+
 // defaultTrace is the process-wide sink; nil means disabled.
 var defaultTrace atomic.Pointer[Trace]
 
@@ -78,6 +136,7 @@ type Span struct {
 	id     int64
 	name   string
 	start  time.Time
+	alloc0 uint64 // cumulative heap-alloc bytes at Start (0 = not sampled)
 
 	// Guarded by tr.mu.
 	dur      time.Duration
@@ -92,6 +151,9 @@ func (t *Trace) Start(name string) *Span {
 		return nil
 	}
 	s := &Span{tr: t, name: name, start: time.Now()}
+	if t.memAttr.Load() {
+		s.alloc0 = heapAllocBytes()
+	}
 	t.mu.Lock()
 	t.seq++
 	s.id = t.seq
@@ -106,6 +168,9 @@ func (s *Span) Start(name string) *Span {
 		return nil
 	}
 	c := &Span{tr: s.tr, parent: s, name: name, start: time.Now()}
+	if s.tr.memAttr.Load() {
+		c.alloc0 = heapAllocBytes()
+	}
 	s.tr.mu.Lock()
 	s.tr.seq++
 	c.id = s.tr.seq
@@ -133,6 +198,10 @@ func (s *Span) End() {
 	if s == nil {
 		return
 	}
+	allocDelta := int64(-1)
+	if s.alloc0 != 0 {
+		allocDelta = int64(heapAllocBytes() - s.alloc0)
+	}
 	s.tr.mu.Lock()
 	if s.ended {
 		s.tr.mu.Unlock()
@@ -140,6 +209,12 @@ func (s *Span) End() {
 	}
 	s.ended = true
 	s.dur = time.Since(s.start)
+	if allocDelta >= 0 {
+		if s.attrs == nil {
+			s.attrs = make(map[string]any, 4)
+		}
+		s.attrs["alloc_bytes"] = allocDelta
+	}
 	s.tr.mu.Unlock()
 	if fn, ok := s.tr.onSpanEnd.Load().(func(*Span)); ok && fn != nil {
 		fn(s)

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// Quantile estimates come from a log-scaled sketch with
+// histSubBuckets sub-buckets per octave: relative error is bounded by
+// half a bucket width (~6%), checked here at 10%.
+func TestHistogramQuantilesUniform(t *testing.T) {
+	tr := New()
+	h := tr.Histogram("test.q")
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	st := h.Stats()
+	for _, tc := range []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"p50", st.P50, 500},
+		{"p95", st.P95, 950},
+		{"p99", st.P99, 990},
+	} {
+		if rel := math.Abs(tc.got-tc.want) / tc.want; rel > 0.10 {
+			t.Errorf("%s = %g, want %g ±10%%", tc.name, tc.got, tc.want)
+		}
+	}
+	if st.P50 > st.P95 || st.P95 > st.P99 {
+		t.Errorf("quantiles not monotone: p50=%g p95=%g p99=%g", st.P50, st.P95, st.P99)
+	}
+	if st.P99 > st.Max || st.P50 < st.Min {
+		t.Errorf("quantiles outside [min,max]: %+v", st)
+	}
+}
+
+// The sketch must be order-independent: permuting the observation
+// stream cannot change any quantile (bucket increments commute).
+func TestHistogramQuantilesOrderIndependent(t *testing.T) {
+	values := []float64{0.003, 12, 7e6, 42, 42, 1e-9, 0.5, 99.5, 3, 3, 3, 1e4}
+	a, b := &Histogram{}, &Histogram{}
+	for _, v := range values {
+		a.Observe(v)
+	}
+	for i := len(values) - 1; i >= 0; i-- {
+		b.Observe(values[i])
+	}
+	sa, sb := a.Stats(), b.Stats()
+	if sa != sb {
+		t.Errorf("order-dependent stats:\n fwd=%+v\n rev=%+v", sa, sb)
+	}
+}
+
+// Non-positive observations (gauge-like rates can hit 0) must not
+// corrupt the sketch: they pool at the bottom, represented by min.
+func TestHistogramQuantilesNonPositive(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 10; i++ {
+		h.Observe(-5)
+	}
+	h.Observe(100)
+	st := h.Stats()
+	if st.P50 != -5 {
+		t.Errorf("p50 = %g, want -5 (non-positive mass)", st.P50)
+	}
+	if st.P99 > 100 || st.P99 < -5 {
+		t.Errorf("p99 = %g out of range", st.P99)
+	}
+	empty := (&Histogram{}).Stats()
+	if empty.P50 != 0 || empty.P95 != 0 || empty.P99 != 0 {
+		t.Errorf("empty histogram quantiles non-zero: %+v", empty)
+	}
+}
+
+func TestBucketBoundsRoundTrip(t *testing.T) {
+	for _, v := range []float64{1e-12, 0.25, 0.5, 1, 1.4999, 777, 3.2e9} {
+		idx := bucketIndex(v)
+		lo, hi := bucketBounds(idx)
+		if v < lo || v >= hi {
+			t.Errorf("value %g outside its bucket [%g, %g)", v, lo, hi)
+		}
+	}
+}
+
+func TestMetricsTableShowsQuantiles(t *testing.T) {
+	tr := New()
+	for i := 1; i <= 100; i++ {
+		tr.Histogram("spice.op.solve_ns").Observe(float64(i))
+	}
+	tab := tr.MetricsTable()
+	for _, want := range []string{"p50=", "p95=", "p99="} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("metrics table missing %s:\n%s", want, tab)
+		}
+	}
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	tr := New()
+	meta := Meta{
+		Schema: TraceSchema, GoVersion: "go1.24.0", Host: "ci-runner",
+		StartTime: "2026-08-08T12:00:00Z", Commit: "abc123",
+	}
+	tr.SetMeta(meta)
+	s := tr.Start("flow.run")
+	s.End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(buf.String(), "\n", 2)[0]
+	if !strings.Contains(first, `"type":"meta"`) {
+		t.Errorf("meta record not first line: %s", first)
+	}
+	d, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Meta == nil {
+		t.Fatal("meta record not parsed")
+	}
+	if *d.Meta != meta {
+		t.Errorf("meta round trip: got %+v, want %+v", *d.Meta, meta)
+	}
+	if got, ok := tr.Meta(); !ok || got != meta {
+		t.Errorf("Trace.Meta = %+v, %t", got, ok)
+	}
+}
+
+func TestMetaAbsentOnOldTraces(t *testing.T) {
+	tr := New()
+	tr.Start("x").End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"type":"meta"`) {
+		t.Error("meta record written without SetMeta")
+	}
+	d, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Meta != nil {
+		t.Errorf("meta parsed from trace without one: %+v", d.Meta)
+	}
+}
+
+// Memory attribution: spans started while enabled carry an
+// alloc_bytes attribute covering at least the allocations the span's
+// own work performed.
+func TestMemAttribution(t *testing.T) {
+	tr := New()
+	tr.SetMemAttribution(true)
+	s := tr.Start("flow.place")
+	sink := make([]byte, 1<<20)
+	sink[0] = 1
+	s.End()
+	v := s.Attr("alloc_bytes")
+	delta, ok := v.(int64)
+	if !ok {
+		t.Fatalf("alloc_bytes attr = %v (%T), want int64", v, v)
+	}
+	if delta < 1<<20 {
+		t.Errorf("alloc_bytes = %d, want >= %d", delta, 1<<20)
+	}
+	_ = sink
+	// Disabled (default) path: no attribute.
+	tr2 := New()
+	s2 := tr2.Start("x")
+	s2.End()
+	if s2.Attr("alloc_bytes") != nil {
+		t.Error("alloc_bytes present without SetMemAttribution")
+	}
+	// Nil-safety.
+	var nilTr *Trace
+	nilTr.SetMemAttribution(true)
+	nilTr.SetMeta(Meta{})
+	if _, ok := nilTr.Meta(); ok {
+		t.Error("nil trace reported meta")
+	}
+}

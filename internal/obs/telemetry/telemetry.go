@@ -1,0 +1,179 @@
+// Package telemetry serves a live observability surface over an
+// obs.Trace:
+//
+//	/metrics      Prometheus text exposition of every counter, gauge,
+//	              and histogram (histograms as summaries with
+//	              p50/p95/p99 quantiles plus _min/_max gauges)
+//	/spans        the span forest as a JSON snapshot, safe to poll
+//	              mid-run (unended spans report running durations)
+//	/healthz      liveness probe
+//	/debug/pprof  the standard pprof mux
+//
+// It is the exact HTTP surface a long-lived `primopt serve` daemon
+// will mount; today it embeds into one-shot CLI runs via the
+// -telemetry flag so an in-flight optimization can be observed from
+// outside the process. Everything reads through Trace.Snapshot, which
+// locks only long enough to copy — polling never blocks the flow.
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"primopt/internal/obs"
+)
+
+// Handler returns the telemetry mux over tr. The trace may be nil
+// (endpoints serve empty snapshots), so the surface can be mounted
+// before observability is configured.
+func Handler(tr *obs.Trace) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		serveMetrics(w, tr)
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		serveSpans(w, tr)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if _, err := w.Write([]byte("ok\n")); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// spansPayload is the /spans response body.
+type spansPayload struct {
+	Meta  *obs.Meta        `json:"meta,omitempty"`
+	Spans []obs.SpanRecord `json:"spans"`
+}
+
+func serveSpans(w http.ResponseWriter, tr *obs.Trace) {
+	spans, _ := tr.Snapshot()
+	if spans == nil {
+		spans = []obs.SpanRecord{}
+	}
+	payload := spansPayload{Spans: spans}
+	if m, ok := tr.Meta(); ok {
+		payload.Meta = &m
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(payload); err != nil {
+		return
+	}
+}
+
+func serveMetrics(w http.ResponseWriter, tr *obs.Trace) {
+	_, metrics := tr.Snapshot()
+	var buf bytes.Buffer
+	for _, m := range metrics {
+		name := promName(m.Name)
+		switch m.Kind {
+		case "counter":
+			buf.WriteString("# TYPE " + name + " counter\n")
+			buf.WriteString(name + " " + promFloat(m.Value) + "\n")
+		case "gauge":
+			buf.WriteString("# TYPE " + name + " gauge\n")
+			buf.WriteString(name + " " + promFloat(m.Value) + "\n")
+		case "histogram":
+			buf.WriteString("# TYPE " + name + " summary\n")
+			buf.WriteString(name + `{quantile="0.5"} ` + promFloat(m.P50) + "\n")
+			buf.WriteString(name + `{quantile="0.95"} ` + promFloat(m.P95) + "\n")
+			buf.WriteString(name + `{quantile="0.99"} ` + promFloat(m.P99) + "\n")
+			buf.WriteString(name + "_sum " + promFloat(m.Sum) + "\n")
+			buf.WriteString(name + "_count " + strconv.FormatInt(m.Count, 10) + "\n")
+			buf.WriteString("# TYPE " + name + "_min gauge\n")
+			buf.WriteString(name + "_min " + promFloat(m.Min) + "\n")
+			buf.WriteString("# TYPE " + name + "_max gauge\n")
+			buf.WriteString(name + "_max " + promFloat(m.Max) + "\n")
+		}
+	}
+	if m, ok := tr.Meta(); ok {
+		buf.WriteString("# TYPE primopt_build_info gauge\n")
+		buf.WriteString(`primopt_build_info{go_version=` + strconv.Quote(m.GoVersion) +
+			`,host=` + strconv.Quote(m.Host) +
+			`,commit=` + strconv.Quote(m.Commit) + "} 1\n")
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return
+	}
+}
+
+// promName maps an obs metric name ("spice.dc.newton_iters") to a
+// Prometheus-legal one ("primopt_spice_dc_newton_iters").
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("primopt_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Server is a running telemetry listener.
+type Server struct {
+	ln       net.Listener
+	srv      *http.Server
+	serveErr atomic.Value // error from Serve, if it died unexpectedly
+}
+
+// Start listens on addr (":0" picks a free port — read it back with
+// Addr) and serves the telemetry surface over tr in a background
+// goroutine until Close.
+func Start(addr string, tr *obs.Trace) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(tr)}}
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.serveErr.Store(err)
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener. It returns the error that killed the
+// serve loop, if one did.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	err := s.srv.Close()
+	if serr, ok := s.serveErr.Load().(error); ok {
+		return serr
+	}
+	return err
+}
