@@ -20,6 +20,7 @@ import (
 func runBenchDiff(args []string) int {
 	fs := flag.NewFlagSet("benchdiff", flag.ExitOnError)
 	maxRegress := fs.String("max-regress", "20%", "tolerated slowdown per stage and per run total (e.g. 20% or 0.2)")
+	counterRegress := fs.String("counter-regress", "25%", "tolerated drop of the solver fast-path counters (factor_reused, newton_bypassed); 0 disables the gate")
 	minMS := fs.Float64("min-ms", 1, "ignore stages whose baseline is below this many milliseconds")
 	jsonOut := fs.Bool("json", false, "emit the full diff and verdicts as JSON instead of text")
 	fs.Usage = func() {
@@ -36,6 +37,11 @@ func runBenchDiff(args []string) int {
 		fmt.Fprintln(os.Stderr, "primopt benchdiff:", err)
 		return 2
 	}
+	counterThresh, err := analyze.ParsePercent(*counterRegress)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "primopt benchdiff:", err)
+		return 2
+	}
 	base, err := analyze.ReadBenchFile(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "primopt benchdiff:", err)
@@ -46,7 +52,7 @@ func runBenchDiff(args []string) int {
 		fmt.Fprintln(os.Stderr, "primopt benchdiff:", err)
 		return 2
 	}
-	opt := analyze.BenchOptions{MaxRegress: thresh, MinMS: *minMS}
+	opt := analyze.BenchOptions{MaxRegress: thresh, MinMS: *minMS, CounterRegress: counterThresh}
 	d := analyze.DiffBench(base, cur)
 	regs := d.Regressions(opt)
 
@@ -76,6 +82,11 @@ func runBenchDiff(args []string) int {
 				*maxRegress, *minMS, len(d.Matched))
 		}
 		for _, r := range regs {
+			if r.Stage == "factor_reused" || r.Stage == "newton_bypassed" {
+				fmt.Printf("benchdiff: REGRESSION %s %s: %.0f -> %.0f (%.2fx, counter)\n",
+					r.RunKey, r.Stage, r.BaselineMS, r.CurrentMS, r.Ratio)
+				continue
+			}
 			fmt.Printf("benchdiff: REGRESSION %s %s: %.3fms -> %.3fms (%.2fx)\n",
 				r.RunKey, r.Stage, r.BaselineMS, r.CurrentMS, r.Ratio)
 		}

@@ -249,6 +249,8 @@ func writeBench(tr *obs.Trace, path string) error {
 			EvcacheHits:    attrInt64(root.Attrs, "cache_hits"),
 			EvcacheMisses:  attrInt64(root.Attrs, "cache_misses"),
 			DuplicateDecks: attrInt64(root.Attrs, "duplicate_decks"),
+			FactorReused:   attrInt64(root.Attrs, "factor_reused"),
+			NewtonBypassed: attrInt64(root.Attrs, "newton_bypassed"),
 			Stages:         map[string]float64{},
 		}
 		if v, ok := root.Attrs["cache"].(bool); ok {
@@ -497,6 +499,32 @@ func runCheckTrace(args []string) int {
 	if degradedCount > 0 && injectedCount == 0 {
 		problems = append(problems, fmt.Sprintf(
 			"flow.degraded (%.0f) with fault.injected absent: flow degraded on a clean run", degradedCount))
+	}
+
+	// Solver fast-path accounting: a factorization can only be reused
+	// inside a Newton iteration (DC or transient) or an AC point solve,
+	// and an iteration can only be bypassed if it is a Newton iteration
+	// in the first place. Counters exceeding those bounds mean the
+	// solver double-counted its fast path — the metrics would overstate
+	// how much work the reuse machinery actually saved. The bounds hold
+	// on fault-armed traces too: an aborted analysis stops emitting
+	// both sides of each inequality together.
+	metricVal := func(name string) float64 {
+		if m := d.Metric(name); m != nil {
+			return m.Value
+		}
+		return 0
+	}
+	newtonIters := metricVal("spice.dc.newton_iters") + metricVal("spice.tran.newton_iters")
+	if reused := metricVal("spice.factor.reused"); reused > newtonIters+metricVal("spice.ac.points") {
+		problems = append(problems, fmt.Sprintf(
+			"spice.factor.reused (%.0f) > spice.dc.newton_iters + spice.tran.newton_iters + spice.ac.points (%.0f): more pivot reuses than solves that could host one",
+			reused, newtonIters+metricVal("spice.ac.points")))
+	}
+	if bypassed := metricVal("spice.newton.bypassed"); bypassed > newtonIters {
+		problems = append(problems, fmt.Sprintf(
+			"spice.newton.bypassed (%.0f) > spice.dc.newton_iters + spice.tran.newton_iters (%.0f): more bypassed iterations than Newton iterations",
+			bypassed, newtonIters))
 	}
 
 	// Structural sanity: every non-root span's parent must exist.

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"flag"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -336,6 +337,43 @@ func TestCheckTraceRejectsNegativeSelfTime(t *testing.T) {
 	ok := writeTraceFile(t, dir, "concurrent.jsonl", lines...)
 	if rc := runCheckTrace([]string{ok}); rc != 0 {
 		t.Errorf("concurrent children rejected (exit %d)", rc)
+	}
+}
+
+// The solver fast-path counters are bounded by the iteration counts
+// that could host them: a pivot reuse needs a Newton iteration (DC or
+// transient) or an AC point, a bypass needs a Newton iteration.
+// checktrace must reject a trace that overcounts either and accept
+// one at the boundary.
+func TestCheckTraceSolverCounterBounds(t *testing.T) {
+	dir := t.TempDir()
+	metrics := func(reused, bypassed float64) []string {
+		return append(conventionalTraceLines(validMetaLine),
+			`{"type":"metric","kind":"counter","name":"spice.dc.newton_iters","value":100}`,
+			`{"type":"metric","kind":"counter","name":"spice.tran.newton_iters","value":400}`,
+			`{"type":"metric","kind":"counter","name":"spice.ac.points","value":50}`,
+			fmt.Sprintf(`{"type":"metric","kind":"counter","name":"spice.factor.reused","value":%g}`, reused),
+			fmt.Sprintf(`{"type":"metric","kind":"counter","name":"spice.newton.bypassed","value":%g}`, bypassed),
+		)
+	}
+
+	// At the boundary: reused == iters + ac points, bypassed == iters.
+	ok := writeTraceFile(t, dir, "bounds_ok.jsonl", metrics(550, 500)...)
+	if rc := runCheckTrace([]string{ok}); rc != 0 {
+		t.Errorf("boundary counters rejected (exit %d)", rc)
+	}
+
+	overReuse := writeTraceFile(t, dir, "over_reuse.jsonl", metrics(551, 0)...)
+	var rc int
+	out := captureStderr(t, func() { rc = runCheckTrace([]string{overReuse}) })
+	if rc == 0 || !strings.Contains(out, "spice.factor.reused") {
+		t.Errorf("overcounted factor.reused: exit %d, stderr %q", rc, out)
+	}
+
+	overBypass := writeTraceFile(t, dir, "over_bypass.jsonl", metrics(0, 501)...)
+	out = captureStderr(t, func() { rc = runCheckTrace([]string{overBypass}) })
+	if rc == 0 || !strings.Contains(out, "spice.newton.bypassed") {
+		t.Errorf("overcounted newton.bypassed: exit %d, stderr %q", rc, out)
 	}
 }
 

@@ -178,15 +178,25 @@ func NewContext(t *pdk.Tech, d *circuit.Device) *EvalContext {
 
 // Eval evaluates the device at the given terminal voltages.
 func (c *EvalContext) Eval(vd, vg, vs, vb float64) MOSState {
+	var st MOSState
+	c.EvalInto(&st, vd, vg, vs, vb)
+	return st
+}
+
+// EvalInto evaluates the device at the given terminal voltages,
+// writing the state through st. The stamp loops call this once per
+// device per Newton iteration; writing in place avoids copying the
+// ten-field state struct through a return value each time.
+func (c *EvalContext) EvalInto(st *MOSState, vd, vg, vs, vb float64) {
 	if c.isP {
 		// Evaluate the mirrored NMOS and flip current + derivative
 		// signs: I_P(v) = -I_N(-v), dI_P/dv_x = dI_N/du_x evaluated
 		// at u = -v.
-		st := evalNMOSCore(&c.g, -vd, -vg, -vs, -vb)
+		evalNMOSCore(st, &c.g, -vd, -vg, -vs, -vb)
 		st.Ids = -st.Ids
-		return st
+		return
 	}
-	return evalNMOSCore(&c.g, vd, vg, vs, vb)
+	evalNMOSCore(st, &c.g, vd, vg, vs, vb)
 }
 
 // EvalMOS evaluates the FinFET d of type NMOS/PMOS at the given
@@ -198,8 +208,8 @@ func EvalMOS(t *pdk.Tech, d *circuit.Device, vd, vg, vs, vb float64) MOSState {
 
 // evalNMOSCore computes the NMOS characteristics with source/drain
 // symmetry enforced by swapping so the "drain" is the higher
-// potential.
-func evalNMOSCore(g *mosGeom, vd, vg, vs, vb float64) MOSState {
+// potential, writing the result through st.
+func evalNMOSCore(st *MOSState, g *mosGeom, vd, vg, vs, vb float64) {
 	swapped := vd < vs
 	if swapped {
 		vd, vs = vs, vd
@@ -238,15 +248,13 @@ func evalNMOSCore(g *mosGeom, vd, vg, vs, vb float64) MOSState {
 	cgd := g.cgg * inv * 0.5 * (1 - sat)
 	cgb := g.cgg * (1 - inv) * 0.4
 
-	st := MOSState{
-		Ids:  ids,
-		GdVd: gdvd, GdVg: gdvg, GdVs: gdvs, GdVb: gdvb,
-		Cgs: cgs + g.cov,
-		Cgd: cgd + g.cov,
-		Cgb: cgb,
-		Cdb: g.cjd,
-		Csb: g.cjs,
-	}
+	st.Ids = ids
+	st.GdVd, st.GdVg, st.GdVs, st.GdVb = gdvd, gdvg, gdvs, gdvb
+	st.Cgs = cgs + g.cov
+	st.Cgd = cgd + g.cov
+	st.Cgb = cgb
+	st.Cdb = g.cjd
+	st.Csb = g.cjs
 	if swapped {
 		// Undo the swap: exchange drain/source roles everywhere.
 		st.Ids = -st.Ids
@@ -256,7 +264,6 @@ func evalNMOSCore(g *mosGeom, vd, vg, vs, vb float64) MOSState {
 		st.Cgs, st.Cgd = st.Cgd, st.Cgs
 		st.Cdb, st.Csb = st.Csb, st.Cdb
 	}
-	return st
 }
 
 // TotalFins returns nfin*nf*m for a MOS device (min 1).
@@ -272,8 +279,14 @@ func TotalFins(d *circuit.Device) int {
 // time tm, honoring PULSE, SIN, and PWL waveforms and falling back to
 // the DC value.
 func SourceValueAt(d *circuit.Device, tm float64) float64 {
-	dc := d.Param("dc", 0)
-	w := d.Wave
+	return SourceValue(d.Param("dc", 0), d.Wave, tm)
+}
+
+// SourceValue is the cached-parameter form of SourceValueAt: callers
+// that evaluate a source every integration step resolve the DC value
+// from the parameter map once and pass it here, keeping the per-step
+// path free of map lookups.
+func SourceValue(dc float64, w *circuit.SourceWave, tm float64) float64 {
 	if w == nil {
 		return dc
 	}

@@ -22,6 +22,23 @@
 //
 // Errors are never cached — a failed computation releases the key so
 // a later request recomputes (and the whole run aborts anyway).
+//
+// # Expected hit/miss profiles
+//
+// A low hit ratio is not a key defect. Misses count *distinct*
+// snapshots: the tuner's wire sweep enumerates counts n = 1..maxW per
+// terminal and every n is a different key, so the first visit to each
+// is necessarily a miss — hits only come from *re*-visits (the
+// winner's re-evaluation, correlated-terminal re-sweeps, or another
+// instance requesting an identical snapshot). Circuits whose
+// primitive instances are all distinct therefore sit near the
+// sweep-enumeration floor: csamp's two instances have different kinds
+// ("csamp", "csource_p") and sizings, share nothing, and measure ~18
+// hits against ~114 misses — exactly the count of distinct
+// (config, wires) snapshots its selection + tuning visits. The big
+// ratios come from instance symmetry: the RO-VCO's N identical stages
+// request the same keys and all but the first are hits.
+// TestMissesCountDistinctSnapshots pins this accounting.
 package evcache
 
 import (

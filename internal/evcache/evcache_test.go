@@ -185,3 +185,61 @@ func TestEntryCloneSchematic(t *testing.T) {
 		t.Error("schematic clone shares the eval map")
 	}
 }
+
+// TestMissesCountDistinctSnapshots pins the accounting behind the
+// csamp bench anomaly (18 hits / 114 misses with the cache on): a
+// tuning-style sweep over wire counts produces one miss per distinct
+// snapshot and zero spurious misses — every repeat of an
+// already-computed snapshot is a hit. A low hit ratio therefore means
+// the optimizer genuinely visited that many distinct snapshots (the
+// csamp case: two unrelated primitive instances, nothing to share),
+// not that the key is unstable.
+func TestMissesCountDistinctSnapshots(t *testing.T) {
+	c := New()
+	sz := primlib.Sizing{TotalFins: 960, L: 14}
+	bias := primlib.Bias{Vdd: 0.8, VCM: 0.45}
+
+	const maxW = 6
+	var computes int
+	sweep := func() {
+		lay := testLayout()
+		for n := 1; n <= maxW; n++ {
+			lay.Wires["d_a"].NWires = n
+			key := Key("csamp", sz, bias, lay)
+			if _, err := c.Do(nil, key, func() (*Entry, error) {
+				computes++
+				return testEntry(), nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// First sweep: every wire count is a new snapshot — all misses.
+	sweep()
+	st := c.Stats()
+	if st.Misses != maxW || st.Hits != 0 {
+		t.Fatalf("first sweep stats = %+v, want %d misses / 0 hits", st, maxW)
+	}
+	// Re-sweeping the identical snapshots computes nothing: the keys
+	// are deterministic, so every request is a hit.
+	sweep()
+	st = c.Stats()
+	if st.Misses != maxW || st.Hits != maxW {
+		t.Errorf("re-sweep stats = %+v, want %d misses / %d hits", st, maxW, maxW)
+	}
+	if computes != maxW {
+		t.Errorf("computed %d entries, want %d (one per distinct snapshot)", computes, maxW)
+	}
+	if st.Hits+st.Misses != 2*maxW {
+		t.Errorf("hits+misses = %d, want %d (every request accounted once)", st.Hits+st.Misses, 2*maxW)
+	}
+
+	// A second instance of a different kind shares nothing even at
+	// identical sizing/bias/layout — the csamp situation, where the
+	// "csamp" and "csource_p" instances can never serve each other.
+	lay := testLayout()
+	if Key("csamp", sz, bias, lay) == Key("csource_p", sz, bias, lay) {
+		t.Error("distinct primitive kinds share a key")
+	}
+}

@@ -197,6 +197,12 @@ func RunContext(ctx context.Context, t *pdk.Tech, bm *circuits.Benchmark, mode M
 	// trace; the delta across this run attributes redundant decks to it
 	// specifically, even when one trace holds several runs (-mode all).
 	dups0 := obs.Default().Counter("spice.duplicate_decks").Value()
+	// Same delta treatment for the solver fast-path counters: factored
+	// pivot-order reuses and Jacobian-bypassed Newton iterations both
+	// explain wall clock (more reuse/bypass = cheaper iterations), so
+	// the bench writer gates on them per run.
+	reuse0 := obs.Default().Counter("spice.factor.reused").Value()
+	bypass0 := obs.Default().Counter("spice.newton.bypassed").Value()
 	defer func() {
 		res.Runtime = time.Since(start) //lint:allow rngpurity wall time feeds Result.Runtime reporting metadata only, never layout or metric values
 		root.SetAttr("sims", res.Sims)
@@ -213,6 +219,8 @@ func RunContext(ctx context.Context, t *pdk.Tech, bm *circuits.Benchmark, mode M
 			root.SetAttr("cache_misses", st.Misses)
 		}
 		root.SetAttr("duplicate_decks", obs.Default().Counter("spice.duplicate_decks").Value()-dups0)
+		root.SetAttr("factor_reused", obs.Default().Counter("spice.factor.reused").Value()-reuse0)
+		root.SetAttr("newton_bypassed", obs.Default().Counter("spice.newton.bypassed").Value()-bypass0)
 		root.End()
 	}()
 

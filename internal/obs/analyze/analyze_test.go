@@ -298,6 +298,64 @@ func TestDiffBenchFailsOnDoubledStage(t *testing.T) {
 	}
 }
 
+// The counter gate fails when the solver fast-path counters drop past
+// the threshold, tolerates smaller drifts and increases, and stays
+// silent when disabled or when the baseline never engaged the fast
+// path.
+func TestDiffBenchCounterDropGate(t *testing.T) {
+	base := benchFixture(50)
+	base.Runs[0].FactorReused = 1000
+	base.Runs[0].NewtonBypassed = 8000
+	cur := benchFixture(50)
+	cur.Runs[0].FactorReused = 700    // -30%: past a 25% gate
+	cur.Runs[0].NewtonBypassed = 7900 // -1.25%: fine
+
+	regs := DiffBench(base, cur).Regressions(BenchOptions{MaxRegress: 0.2, MinMS: 5, CounterRegress: 0.25})
+	var hit *BenchRegression
+	for i := range regs {
+		if regs[i].Stage == "newton_bypassed" {
+			t.Errorf("in-threshold counter flagged: %+v", regs[i])
+		}
+		if regs[i].Stage == "factor_reused" {
+			hit = &regs[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("30%% factor_reused drop not flagged: %+v", regs)
+	}
+	if hit.Ratio < 0.69 || hit.Ratio > 0.71 {
+		t.Errorf("ratio = %v, want ~0.7", hit.Ratio)
+	}
+
+	// CounterRegress == 0 disables the gate entirely.
+	if regs := DiffBench(base, cur).Regressions(BenchOptions{MaxRegress: 0.2, MinMS: 5}); len(regs) != 0 {
+		t.Errorf("disabled counter gate still flagged: %+v", regs)
+	}
+
+	// A zero baseline (fast path never engaged) gates nothing, and a
+	// counter increase is never a regression.
+	base.Runs[0].FactorReused = 0
+	cur.Runs[0].FactorReused = 0
+	cur.Runs[0].NewtonBypassed = 16000
+	if regs := DiffBench(base, cur).Regressions(BenchOptions{MaxRegress: 0.2, MinMS: 5, CounterRegress: 0.25}); len(regs) != 0 {
+		t.Errorf("zero baseline / counter increase flagged: %+v", regs)
+	}
+
+	// Render marks the dropped counter.
+	base.Runs[0].FactorReused = 1000
+	cur.Runs[0].FactorReused = 700
+	var buf bytes.Buffer
+	if err := DiffBench(base, cur).Render(&buf, BenchOptions{MaxRegress: 0.2, MinMS: 5, CounterRegress: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"solver (a/b)", "factor_reused 1000/700", "<< REGRESSION"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bench render missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestDiffBenchCleanPass(t *testing.T) {
 	base := benchFixture(50)
 	cur := benchFixture(52) // 4% drift, inside a 20% gate

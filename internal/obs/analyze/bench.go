@@ -32,13 +32,22 @@ type BenchRun struct {
 	// PlaceBestCost is the winning replica's annealing cost, so a
 	// replicas>1 entry can be compared against the single-chain one
 	// at equal-or-better quality, not just on wall time.
-	Replicas       int                `json:"place_replicas,omitempty"`
-	PlaceBestCost  float64            `json:"place_best_cost,omitempty"`
-	TotalMS        float64            `json:"total_ms"`
-	Sims           float64            `json:"sims,omitempty"`
-	EvcacheHits    int64              `json:"evcache_hits,omitempty"`
-	EvcacheMisses  int64              `json:"evcache_misses,omitempty"`
-	DuplicateDecks int64              `json:"duplicate_decks,omitempty"`
+	Replicas       int     `json:"place_replicas,omitempty"`
+	PlaceBestCost  float64 `json:"place_best_cost,omitempty"`
+	TotalMS        float64 `json:"total_ms"`
+	Sims           float64 `json:"sims,omitempty"`
+	EvcacheHits    int64   `json:"evcache_hits,omitempty"`
+	EvcacheMisses  int64   `json:"evcache_misses,omitempty"`
+	DuplicateDecks int64   `json:"duplicate_decks,omitempty"`
+	// FactorReused counts Newton solves served by recycling the pivot
+	// order of an earlier LU factorization; NewtonBypassed counts
+	// Newton iterations that skipped the Jacobian restamp/refactor
+	// entirely. Both are per-run deltas of the process-wide spice
+	// counters. A drop means the solver fast path stopped engaging —
+	// a perf regression even when wall clock hides it in noise — so
+	// the diff gate watches them alongside the stage timings.
+	FactorReused   int64              `json:"factor_reused,omitempty"`
+	NewtonBypassed int64              `json:"newton_bypassed,omitempty"`
 	Stages         map[string]float64 `json:"stages_ms"`
 }
 
@@ -103,6 +112,12 @@ type BenchOptions struct {
 	// MinMS ignores stages below this baseline floor — sub-millisecond
 	// stages are scheduler noise on shared CI runners.
 	MinMS float64
+	// CounterRegress is the tolerated fractional DROP of the solver
+	// fast-path counters (factor_reused, newton_bypassed) per run
+	// (0.25 = a 25% drop fails). Unlike the timing gate, counters
+	// regress downward: fewer reuses or bypasses means the solver
+	// fell back to full restamps/refactors. Zero disables the gate.
+	CounterRegress float64
 }
 
 // BenchRunDelta pairs a baseline and current measurement of the same
@@ -151,7 +166,10 @@ func DiffBench(a, b *BenchFile) *BenchDiff {
 }
 
 // BenchRegression is one stage (or run total, Stage == "total_ms")
-// that exceeded the slowdown threshold.
+// that exceeded the slowdown threshold, or a solver fast-path counter
+// (Stage == "factor_reused" / "newton_bypassed") that dropped past the
+// counter threshold; for counters the *MS fields carry counts, not
+// milliseconds.
 type BenchRegression struct {
 	RunKey     string  `json:"run_key"`
 	Stage      string  `json:"stage"`
@@ -189,6 +207,26 @@ func (d *BenchDiff) Regressions(opt BenchOptions) []BenchRegression {
 			}
 			check(m.Key, s, m.A.Stages[s], cur)
 		}
+		if opt.CounterRegress > 0 {
+			checkDrop := func(stage string, base, cur int64) {
+				// A baseline of zero means the configuration never
+				// engaged the fast path (e.g. schematic mode); nothing
+				// to protect. Otherwise current must hold at least
+				// (1 - CounterRegress) of the baseline count.
+				if base <= 0 {
+					return
+				}
+				if float64(cur) < float64(base)*(1-opt.CounterRegress) {
+					out = append(out, BenchRegression{
+						RunKey: m.Key, Stage: stage,
+						BaselineMS: float64(base), CurrentMS: float64(cur),
+						Ratio: float64(cur) / float64(base),
+					})
+				}
+			}
+			checkDrop("factor_reused", m.A.FactorReused, m.B.FactorReused)
+			checkDrop("newton_bypassed", m.A.NewtonBypassed, m.B.NewtonBypassed)
+		}
 	}
 	return out
 }
@@ -215,6 +253,19 @@ func (d *BenchDiff) Render(w io.Writer, opt BenchOptions) error {
 			}
 			if _, err := fmt.Fprintf(w, "  %-22s %10.3f %10.3f ms (%+.1f%%)%s\n",
 				s, base, cur, pctChange(base, cur), mark); err != nil {
+				return err
+			}
+		}
+		if m.A.FactorReused+m.B.FactorReused > 0 || m.A.NewtonBypassed+m.B.NewtonBypassed > 0 {
+			mark := ""
+			if opt.CounterRegress > 0 &&
+				((m.A.FactorReused > 0 && float64(m.B.FactorReused) < float64(m.A.FactorReused)*(1-opt.CounterRegress)) ||
+					(m.A.NewtonBypassed > 0 && float64(m.B.NewtonBypassed) < float64(m.A.NewtonBypassed)*(1-opt.CounterRegress))) {
+				mark = "  << REGRESSION"
+			}
+			if _, err := fmt.Fprintf(w, "  %-22s factor_reused %d/%d newton_bypassed %d/%d%s\n",
+				"solver (a/b)", m.A.FactorReused, m.B.FactorReused,
+				m.A.NewtonBypassed, m.B.NewtonBypassed, mark); err != nil {
 				return err
 			}
 		}

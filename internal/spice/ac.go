@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
-	"strings"
 	"time"
 
 	"primopt/internal/device"
@@ -75,22 +74,38 @@ func (e *Engine) AC(fstart, fstop float64, pointsPerDecade int, op *OPResult) (*
 
 	res := &ACResult{Freqs: freqs, e: e}
 	M := numeric.NewCMatrix(e.n)
+	rhs := make([]complex128, e.n)
+	// Adjacent log-spaced points differ only in omega, so the complex
+	// workspace's pivot order usually carries from point to point.
+	ws := numeric.NewCWorkspace(e.n)
+	var reusedPiv int64
 	for _, f := range freqs {
 		if err := e.canceled(); err != nil {
 			return nil, err
 		}
 		omega := 2 * math.Pi * f
 		M.Zero()
-		rhs := make([]complex128, e.n)
+		for i := range rhs {
+			rhs[i] = 0
+		}
 		e.stampACLinear(M, rhs)
 		e.acCapStampAll(M, omega)
 		lin.stampAC(M, omega)
-		x, err := numeric.SolveLinearC(M, rhs)
+		reused, err := ws.FactorInto(M)
 		if err != nil {
 			tr.Counter("spice.ac.failures").Inc()
 			return nil, fmt.Errorf("spice: AC solve at %g Hz: %w", f, err)
 		}
+		if reused {
+			reusedPiv++
+		}
+		x := make([]complex128, e.n)
+		copy(x, rhs)
+		ws.SolveInPlace(x)
 		res.X = append(res.X, x)
+	}
+	if reusedPiv > 0 {
+		tr.Counter("spice.factor.reused").Add(reusedPiv)
 	}
 	if tr.Enabled() {
 		tr.Counter("spice.ac.runs").Inc()
@@ -173,9 +188,9 @@ func (e *Engine) stampACLinear(M *numeric.CMatrix, rhs []complex128) {
 	}
 	// Explicit C and L are frequency-dependent and stamped separately
 	// by acCapStampAll.
-	for _, d := range e.vsrc {
+	for di, d := range e.vsrc {
 		p, q := e.node(d.Nets[0]), e.node(d.Nets[1])
-		b := e.branchOf[strings.ToLower(d.Name)]
+		b := e.vsrcBr[di]
 		add(p, b, 1)
 		add(q, b, -1)
 		add(b, p, 1)
@@ -196,10 +211,10 @@ func (e *Engine) stampACLinear(M *numeric.CMatrix, rhs []complex128) {
 			rhs[q] += v
 		}
 	}
-	for _, d := range e.vcvs {
+	for di, d := range e.vcvs {
 		p, q := e.node(d.Nets[0]), e.node(d.Nets[1])
 		cp, cn := e.node(d.Nets[2]), e.node(d.Nets[3])
-		b := e.branchOf[strings.ToLower(d.Name)]
+		b := e.vcvsBr[di]
 		g := complex(d.Param("gain", 1), 0)
 		add(p, b, 1)
 		add(q, b, -1)
@@ -235,9 +250,9 @@ func (e *Engine) acCapStampAll(M *numeric.CMatrix, omega float64) {
 		add(p, q, -y)
 		add(q, p, -y)
 	}
-	for _, d := range e.inds {
+	for di, d := range e.inds {
 		p, q := e.node(d.Nets[0]), e.node(d.Nets[1])
-		b := e.branchOf[strings.ToLower(d.Name)]
+		b := e.indBr[di]
 		add(p, b, 1)
 		add(q, b, -1)
 		add(b, p, 1)

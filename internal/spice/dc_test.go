@@ -268,3 +268,55 @@ func TestNodeAndBranchIndex(t *testing.T) {
 		t.Errorf("unknowns = %d, want 3", e.NumUnknowns())
 	}
 }
+
+// Regression test for the off-by-one in the Newton convergence check:
+// `conv && iter > 0` rejected a solve that converged on its very first
+// iteration, forcing every linear DC solve to pay a second stamp,
+// factor, and solve for nothing. A resistor divider is exact after one
+// Newton step, so the iteration counter must read exactly 1.
+func TestNewtonConvergesOnFirstIteration(t *testing.T) {
+	tr := withTrace(t)
+	nl := circuit.NewBuilder("div").
+		V("v1", "in", "0", 1.0).
+		R("r1", "in", "mid", 1e3).
+		R("r2", "mid", "0", 1e3).
+		Netlist()
+	_, op := mustOP(t, nl)
+	if v := op.Volt("mid"); math.Abs(v-0.5) > 1e-9 {
+		t.Errorf("divider mid = %g, want 0.5", v)
+	}
+	if n := tr.Counter("spice.dc.newton_iters").Value(); n != 1 {
+		t.Errorf("spice.dc.newton_iters = %d, want 1 (iteration-0 convergence rejected)", n)
+	}
+}
+
+// The steady-state Newton solve path must not allocate: all scratch
+// (Jacobian, rhs, iterate, workspace) is owned by the engine and
+// reused across calls. Guarded with a MOS circuit so the nonlinear
+// stamp and the device evaluation are on the measured path, and from a
+// converged iterate so each run is exactly one (iteration-0
+// convergent) Newton iteration — the shape of every transient step
+// after the first.
+func TestNewtonDCSteadyStateZeroAlloc(t *testing.T) {
+	nl := circuit.NewBuilder("cmosinv").
+		V("vdd", "vdd", "0", 0.8).
+		V("vin", "g", "0", 0.4).
+		MOS("mp", circuit.PMOS, "d", "g", "vdd", "vdd", 4, 2, 1, 14).
+		MOS("mn", circuit.NMOS, "d", "g", "0", "0", 4, 2, 1, 14).
+		Netlist()
+	e, op := mustOP(t, nl)
+	x := make([]float64, len(op.X))
+	copy(x, op.X)
+	// Warm up once so lazily built scratch is charged outside the
+	// measurement.
+	if err := e.newtonDC(x, 1e-12, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if a := testing.AllocsPerRun(100, func() {
+		if err := e.newtonDC(x, 1e-12, 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}); a != 0 {
+		t.Errorf("newtonDC allocates %v per steady-state solve, want 0", a)
+	}
+}

@@ -52,6 +52,23 @@ type Engine struct {
 	isrc    []*circuit.Device
 	vcvs    []*circuit.Device
 	vccs    []*circuit.Device
+
+	// Branch unknown index per vsrc/ind/vcvs, in slice order. The
+	// stamp loops run every Newton iteration; indexing here instead of
+	// branchOf[strings.ToLower(name)] keeps them map- and
+	// allocation-free.
+	vsrcBr []int
+	indBr  []int
+	vcvsBr []int
+
+	// mosState holds the device states from the most recent
+	// stampMOSDC pass. After a converged Newton loop these are the
+	// states at the accepted bias (to within the convergence
+	// tolerance), letting the transient cap refresh skip a full
+	// device re-evaluation per step.
+	mosState []device.MOSState
+
+	scr *solverScratch // lazily-built DC Newton scratch (see dc.go)
 }
 
 // New builds the MNA structure for nl under technology t.
@@ -93,16 +110,19 @@ func New(t *pdk.Tech, nl *circuit.Netlist) (*Engine, error) {
 			}
 			e.inds = append(e.inds, d)
 			e.branchOf[strings.ToLower(d.Name)] = nextBranch
+			e.indBr = append(e.indBr, nextBranch)
 			nextBranch++
 		case circuit.VSource:
 			e.vsrc = append(e.vsrc, d)
 			e.branchOf[strings.ToLower(d.Name)] = nextBranch
+			e.vsrcBr = append(e.vsrcBr, nextBranch)
 			nextBranch++
 		case circuit.ISource:
 			e.isrc = append(e.isrc, d)
 		case circuit.VCVS:
 			e.vcvs = append(e.vcvs, d)
 			e.branchOf[strings.ToLower(d.Name)] = nextBranch
+			e.vcvsBr = append(e.vcvsBr, nextBranch)
 			nextBranch++
 		case circuit.VCCS:
 			e.vccs = append(e.vccs, d)
@@ -122,6 +142,7 @@ func New(t *pdk.Tech, nl *circuit.Netlist) (*Engine, error) {
 			e.node(d.Nets[0]), e.node(d.Nets[1]), e.node(d.Nets[2]), e.node(d.Nets[3]),
 		})
 	}
+	e.mosState = make([]device.MOSState, len(e.mos))
 	return e, nil
 }
 
