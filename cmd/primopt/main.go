@@ -100,6 +100,8 @@ func main() {
 			os.Exit(runReport(os.Args[2:]))
 		case "benchdiff":
 			os.Exit(runBenchDiff(os.Args[2:]))
+		case "cache":
+			os.Exit(runCacheCmd(os.Args[2:]))
 		}
 	}
 	circuitName := flag.String("circuit", "", "benchmark circuit: csamp, ota5t, strongarm, rovco, telescopic")
@@ -108,6 +110,8 @@ func main() {
 	stages := flag.Int("stages", 8, "RO-VCO stage count")
 	seed := flag.Int64("seed", 1, "placement seed")
 	cache := flag.Bool("cache", true, "memoize primitive evaluations across a run (identical results, fewer SPICE decks)")
+	cacheDir := flag.String("cache-dir", "", "persistent evaluation cache directory (disk tier; implies caching, shared safely across runs and PDKs)")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "disk-tier size bound in bytes (0 = default 1 GiB)")
 	workers := flag.Int("workers", 0, "max concurrent SPICE evaluations per primitive (0 = default 8)")
 	placeReplicas := flag.Int("place-replicas", 1, "independently seeded annealing replicas in the placer (deterministic reduction; results depend only on seed and replica count)")
 	svgPath := flag.String("svg", "", "write the optimized floorplan + routes as SVG to this file")
@@ -138,7 +142,7 @@ func main() {
 	case *table != "":
 		runErr = runTables(tech, *table, *stages)
 	case *circuitName != "":
-		runErr = runCircuit(tech, *circuitName, *mode, *stages, *seed, *cache, *workers, *placeReplicas, ff)
+		runErr = runCircuit(tech, *circuitName, *mode, *stages, *seed, *cache, *cacheDir, *cacheMax, *workers, *placeReplicas, ff)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -175,7 +179,7 @@ func buildCircuit(tech *pdk.Tech, name string, stages int) (*circuits.Benchmark,
 	}
 }
 
-func runCircuit(tech *pdk.Tech, name, modeName string, stages int, seed int64, cache bool, workers, placeReplicas int, ff faultFlags) error {
+func runCircuit(tech *pdk.Tech, name, modeName string, stages int, seed int64, cache bool, cacheDir string, cacheMax int64, workers, placeReplicas int, ff faultFlags) error {
 	bm, err := buildCircuit(tech, name, stages)
 	if err != nil {
 		return err
@@ -209,9 +213,14 @@ func runCircuit(tech *pdk.Tech, name, modeName string, stages int, seed int64, c
 		p.Place.Replicas = placeReplicas
 		// A fresh cache per run keeps the per-mode timings honest (no
 		// mode warms another mode's entries); within the run, every
-		// primitive instance of the circuit shares it.
-		if cache && (m == flow.Optimized || m == flow.Manual) {
+		// primitive instance of the circuit shares it. A -cache-dir
+		// implies caching regardless of -cache and backs the run with
+		// the persistent disk tier (which IS shared across modes and
+		// runs — its keys are content-addressed).
+		if (cache || cacheDir != "") && (m == flow.Optimized || m == flow.Manual) {
 			p.Optimize.Cache = evcache.New()
+			p.CacheDir = cacheDir
+			p.CacheMaxBytes = cacheMax
 		}
 		r, err := flow.Run(tech, bm, m, p)
 		if err != nil {
@@ -220,10 +229,8 @@ func runCircuit(tech *pdk.Tech, name, modeName string, stages int, seed int64, c
 		results[m] = r
 		fmt.Printf("%-12s done in %s (%d SPICE runs)\n", m, r.Runtime.Round(1e6), r.Sims)
 		printDegraded(m, r.Degraded)
-		if c := p.Optimize.Cache; c != nil {
-			st := c.Stats()
-			fmt.Printf("%-12s cache: %d hits / %d misses, %d entries (~%d KiB)\n",
-				m, st.Hits, st.Misses, st.Entries, st.Bytes/1024)
+		if line := cacheStatsLine(m, p.Optimize.Cache); line != "" {
+			fmt.Println(line)
 		}
 		if consOut != "" && m == flow.Optimized {
 			if err := os.WriteFile(consOut, []byte(r.RouterConstraints(bm)), 0o644); err != nil {
@@ -254,6 +261,26 @@ func runCircuit(tech *pdk.Tech, name, modeName string, stages int, seed int64, c
 	fmt.Println()
 	fmt.Print(tb.String())
 	return nil
+}
+
+// cacheStatsLine renders the per-mode cache summary, or "" when the
+// cache was disabled or never exercised — an all-zero stats line for
+// a mode that never consulted the cache is noise, not information.
+func cacheStatsLine(m flow.Mode, c *evcache.Cache) string {
+	if c == nil {
+		return ""
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses == 0 {
+		return ""
+	}
+	line := fmt.Sprintf("%-12s cache: %d hits / %d misses, %d entries (~%d KiB)",
+		m, st.Hits, st.Misses, st.Entries, st.Bytes/1024)
+	if st.DiskTier {
+		line += fmt.Sprintf("; disk: %d hits / %d misses, %d entries in %d segments (~%d KiB)",
+			st.DiskHits, st.DiskMisses, st.DiskEntries, st.DiskSegments, st.DiskBytes/1024)
+	}
+	return line
 }
 
 func modeNames(modes []flow.Mode) []string {

@@ -248,6 +248,8 @@ func writeBench(tr *obs.Trace, path string) error {
 			TotalMS:        float64(root.DurUS) / 1e3,
 			EvcacheHits:    attrInt64(root.Attrs, "cache_hits"),
 			EvcacheMisses:  attrInt64(root.Attrs, "cache_misses"),
+			DiskHits:       attrInt64(root.Attrs, "disk_hits"),
+			DiskMisses:     attrInt64(root.Attrs, "disk_misses"),
 			DuplicateDecks: attrInt64(root.Attrs, "duplicate_decks"),
 			FactorReused:   attrInt64(root.Attrs, "factor_reused"),
 			NewtonBypassed: attrInt64(root.Attrs, "newton_bypassed"),
@@ -329,8 +331,10 @@ var (
 // trace is structurally sound.
 func runCheckTrace(args []string) int {
 	fs := flag.NewFlagSet("checktrace", flag.ExitOnError)
+	requireWarm := fs.Bool("require-warm", false,
+		"assert the trace is a fully warm disk-cache replay: spice.decks == 0 and evcache.disk_hits > 0")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: primopt checktrace <trace.jsonl>")
+		fmt.Fprintln(os.Stderr, "usage: primopt checktrace [-require-warm] <trace.jsonl>")
 		fs.PrintDefaults()
 	}
 	fs.Parse(args)
@@ -535,6 +539,22 @@ func runCheckTrace(args []string) int {
 	for _, s := range d.Spans {
 		if s.Parent != 0 && !ids[s.Parent] {
 			problems = append(problems, fmt.Sprintf("span %q (id %d) has unknown parent %d", s.Name, s.ID, s.Parent))
+		}
+	}
+
+	// Warm-replay gate (-require-warm): the persistent cache's success
+	// metric is that a second run of a benchmark against a warm
+	// -cache-dir solves ZERO SPICE decks — every primitive evaluation
+	// is served from the disk tier. A trace that solved any deck, or
+	// that never recorded a disk hit, is not the warm replay it claims
+	// to be.
+	if *requireWarm {
+		if decks := metricVal("spice.decks"); decks != 0 {
+			problems = append(problems, fmt.Sprintf(
+				"-require-warm: spice.decks = %.0f, want 0 (warm run must serve every evaluation from the disk tier)", decks))
+		}
+		if hits := metricVal("evcache.disk_hits"); hits <= 0 {
+			problems = append(problems, "-require-warm: evcache.disk_hits = 0: the run never read the disk tier")
 		}
 	}
 

@@ -377,6 +377,45 @@ func TestCheckTraceSolverCounterBounds(t *testing.T) {
 	}
 }
 
+// -require-warm asserts the persistent cache's success metric: a
+// second run against a warm -cache-dir solves zero SPICE decks and
+// serves every evaluation from the disk tier.
+func TestCheckTraceRequireWarm(t *testing.T) {
+	dir := t.TempDir()
+
+	warm := writeTraceFile(t, dir, "warm.jsonl", append(conventionalTraceLines(validMetaLine),
+		`{"type":"metric","kind":"counter","name":"evcache.disk_hits","value":7}`)...)
+	if rc := runCheckTrace([]string{"-require-warm", warm}); rc != 0 {
+		t.Errorf("warm trace rejected (exit %d)", rc)
+	}
+	// Without the flag the same trace passes trivially too.
+	if rc := runCheckTrace([]string{warm}); rc != 0 {
+		t.Errorf("warm trace rejected without flag (exit %d)", rc)
+	}
+
+	// A run that still solved decks is not a warm replay.
+	cold := writeTraceFile(t, dir, "cold.jsonl", append(conventionalTraceLines(validMetaLine),
+		`{"type":"metric","kind":"counter","name":"spice.decks","value":12}`,
+		`{"type":"metric","kind":"counter","name":"evcache.disk_hits","value":7}`)...)
+	var rc int
+	out := captureStderr(t, func() { rc = runCheckTrace([]string{"-require-warm", cold}) })
+	if rc == 0 || !strings.Contains(out, "spice.decks = 12") {
+		t.Errorf("deck-solving trace accepted as warm: exit %d, stderr %q", rc, out)
+	}
+	// ...but without -require-warm it is an ordinary valid trace.
+	if rc := runCheckTrace([]string{cold}); rc != 0 {
+		t.Errorf("cold trace rejected without flag (exit %d)", rc)
+	}
+
+	// Zero decks but no disk hits means the disk tier never engaged —
+	// e.g. the cache dir flag was dropped from the CI job.
+	nodisk := writeTraceFile(t, dir, "nodisk.jsonl", conventionalTraceLines(validMetaLine)...)
+	out = captureStderr(t, func() { rc = runCheckTrace([]string{"-require-warm", nodisk}) })
+	if rc == 0 || !strings.Contains(out, "evcache.disk_hits") {
+		t.Errorf("diskless trace accepted as warm: exit %d, stderr %q", rc, out)
+	}
+}
+
 // End-to-end over the CLI entry points: tracecmp fails on a seeded
 // regression and passes on identical traces; benchdiff gates a 2x
 // stage slowdown.

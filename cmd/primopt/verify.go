@@ -23,6 +23,7 @@ func runVerifyCmd(args []string) int {
 	stages := fs.Int("stages", 8, "RO-VCO stage count")
 	seed := fs.Int64("seed", 1, "placement seed")
 	placeReplicas := fs.Int("place-replicas", 1, "independently seeded annealing replicas in the placer")
+	cacheDir := fs.String("cache-dir", "", "persistent evaluation cache directory (disk tier)")
 	var of obsFlags
 	registerObsFlags(fs, &of)
 	var ff faultFlags
@@ -93,6 +94,7 @@ func runVerifyCmd(args []string) int {
 		p.Place.Replicas = *placeReplicas
 		if m == flow.Optimized || m == flow.Manual {
 			p.Optimize.Cache = evcache.New()
+			p.CacheDir = *cacheDir
 		}
 		rep, err := flow.Verify(tech, bm, m, p)
 		if err != nil {

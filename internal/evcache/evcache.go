@@ -54,8 +54,19 @@ import (
 	"primopt/internal/extract"
 	"primopt/internal/fault"
 	"primopt/internal/obs"
+	"primopt/internal/pdk"
 	"primopt/internal/primlib"
 )
+
+// SchemaVersion is the cache schema generation, carried by every key
+// and stamped into every disk segment header. Bump it whenever the
+// key format or the persisted payload encoding changes: version-
+// mismatched segments are never served, and old keys become dead
+// entries that age out of the disk tier, so a schema change can never
+// resurrect stale results. v2 added the PDK fingerprint and the
+// external-route section to the key (v1 keys were process-local and
+// omitted both — the cross-PDK collision this version fixes).
+const SchemaVersion = 2
 
 // Entry is one cached evaluation. Layout evaluations fill every
 // field; schematic reference evaluations (no layout) carry only Eval.
@@ -82,18 +93,24 @@ func (e *Entry) clone() *Entry {
 }
 
 // approxBytes estimates the retained size of an entry, for the
-// evcache.bytes counter. It is an accounting estimate (struct sizes
-// plus per-element costs), not a precise heap measurement.
+// evcache.bytes counter and the in-memory/disk LRU bounds. It is an
+// accounting estimate (struct sizes plus per-element costs), not a
+// precise heap measurement. Alias-aware: a stored entry's Layout is
+// normally the same object as Ex.Layout (the clone invariant), so
+// that layout is charged exactly once; an entry whose extraction
+// carries a distinct layout is charged for both — the earlier
+// version never looked at Ex.Layout at all, undercounting whenever
+// the two diverged and leaving the size bounds dishonest.
 func (e *Entry) approxBytes() int64 {
 	n := int64(128)
 	if e.Layout != nil {
-		n += 256 + int64(len(e.Layout.Units))*32 + int64(len(e.Layout.Wires))*96
-		for _, ctxs := range e.Layout.UnitCtx {
-			n += int64(len(ctxs)) * 48
-		}
+		n += layoutBytes(e.Layout)
 	}
 	if e.Ex != nil {
 		n += 64 + int64(len(e.Ex.Dev))*48 + int64(len(e.Ex.Term))*56
+		if e.Ex.Layout != nil && e.Ex.Layout != e.Layout {
+			n += layoutBytes(e.Ex.Layout)
+		}
 	}
 	if e.Eval != nil {
 		n += 32 + int64(len(e.Eval.Values))*40
@@ -102,42 +119,73 @@ func (e *Entry) approxBytes() int64 {
 	return n
 }
 
+// layoutBytes is the accounting estimate for one retained layout.
+func layoutBytes(l *cellgen.Layout) int64 {
+	n := int64(256) + int64(len(l.Units))*32 + int64(len(l.Wires))*96
+	for _, ctxs := range l.UnitCtx {
+		n += int64(len(ctxs)) * 48
+	}
+	return n
+}
+
 // Key renders the canonical snapshot key for a layout evaluation of
-// one primitive. A nil layout keys the schematic reference
-// evaluation of the same (kind, sizing, bias). The layout part is
-// the full configuration (including dummies, which Config.ID omits)
-// plus the sorted per-terminal wire counts — exactly the state the
-// testbench decks depend on.
-func Key(kind string, sz primlib.Sizing, bias primlib.Bias, lay *cellgen.Layout) string {
+// one primitive. The key is fully content-addressed: it opens with
+// the cache schema version and the PDK fingerprint, so entries that
+// outlive a process (the disk tier) can never be served across model
+// changes or key-format generations — in-process both are constant,
+// which is why their omission was latent until entries persisted. A
+// nil layout keys the schematic reference evaluation of the same
+// (kind, sizing, bias). The layout part is the full configuration
+// (including dummies, which Config.ID omits) plus the sorted
+// per-terminal wire counts; routes, when present, add the sorted
+// external global-route geometry per port (the port-optimization
+// sweeps evaluate the same layout under different route overrides) —
+// exactly the state the testbench decks depend on.
+func Key(t *pdk.Tech, kind string, sz primlib.Sizing, bias primlib.Bias, lay *cellgen.Layout, routes map[string]extract.Route) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s|fins=%d;L=%d;rB=%d;I=%g", kind, sz.TotalFins, sz.L, sz.RatioB, sz.NominalI)
+	fmt.Fprintf(&b, "v%d|pdk=%s|%s", SchemaVersion, t.Fingerprint(), kind)
+	fmt.Fprintf(&b, "|fins=%d;L=%d;rB=%d;I=%g", sz.TotalFins, sz.L, sz.RatioB, sz.NominalI)
 	fmt.Fprintf(&b, "|vdd=%g;vcm=%g;vd=%g;it=%g;cl=%g;vctl=%g;vcas=%g",
 		bias.Vdd, bias.VCM, bias.VD, bias.ITail, bias.CLoad, bias.VCtrl, bias.VCasc)
 	if lay == nil {
 		b.WriteString("|schematic")
-		return b.String()
+	} else {
+		c := lay.Config
+		fmt.Fprintf(&b, "|cfg=%d/%d/%d/%d/%s", c.NFin, c.NF, c.M, c.Dummies, c.Pattern)
+		names := make([]string, 0, len(lay.Wires))
+		for w := range lay.Wires {
+			names = append(names, w)
+		}
+		sort.Strings(names)
+		for _, w := range names {
+			fmt.Fprintf(&b, "|%s=%d", w, lay.Wires[w].NWires)
+		}
 	}
-	c := lay.Config
-	fmt.Fprintf(&b, "|cfg=%d/%d/%d/%d/%s", c.NFin, c.NF, c.M, c.Dummies, c.Pattern)
-	names := make([]string, 0, len(lay.Wires))
-	for w := range lay.Wires {
-		names = append(names, w)
-	}
-	sort.Strings(names)
-	for _, w := range names {
-		fmt.Fprintf(&b, "|%s=%d", w, lay.Wires[w].NWires)
+	if len(routes) > 0 {
+		ports := make([]string, 0, len(routes))
+		for w := range routes {
+			ports = append(ports, w)
+		}
+		sort.Strings(ports)
+		for _, w := range ports {
+			r := routes[w]
+			fmt.Fprintf(&b, "|r:%s=%d/%d/%d/%d/%d", w, r.Layer, r.Length, r.NWires, r.PinLayer, r.Vias)
+		}
 	}
 	return b.String()
 }
 
 // Cache is a concurrency-safe memoization table of evaluation
 // entries with single-flight computation. The zero value is not
-// usable; call New.
+// usable; call New. An optional disk tier (AttachDisk) backs the
+// memory tier: misses consult the disk before computing, and
+// successful computations are written through.
 type Cache struct {
 	mu        sync.Mutex
 	entries   map[string]*Entry
 	inflight  map[string]chan struct{}
 	requested map[string]bool
+	disk      *Disk
 
 	hits   atomic.Int64
 	misses atomic.Int64
@@ -153,11 +201,22 @@ func New() *Cache {
 	}
 }
 
-// Stats is a point-in-time snapshot of the cache counters.
+// Stats is a point-in-time snapshot of the cache counters. The Disk*
+// fields are meaningful only when DiskTier is true.
 type Stats struct {
 	Hits, Misses int64
 	Entries      int
 	Bytes        int64
+
+	DiskTier      bool
+	DiskHits      int64
+	DiskMisses    int64
+	DiskReadErrs  int64
+	DiskWriteErrs int64
+	DiskEvictions int64
+	DiskSegments  int
+	DiskEntries   int
+	DiskBytes     int64
 }
 
 // Stats snapshots the cache (zero value for nil).
@@ -167,13 +226,50 @@ func (c *Cache) Stats() Stats {
 	}
 	c.mu.Lock()
 	n := len(c.entries)
+	d := c.disk
 	c.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Hits:    c.hits.Load(),
 		Misses:  c.misses.Load(),
 		Entries: n,
 		Bytes:   c.bytes.Load(),
 	}
+	if d != nil {
+		ds := d.Stats()
+		st.DiskTier = true
+		st.DiskHits = ds.Hits
+		st.DiskMisses = ds.Misses
+		st.DiskReadErrs = ds.ReadErrs
+		st.DiskWriteErrs = ds.WriteErrs
+		st.DiskEvictions = ds.Evictions
+		st.DiskSegments = ds.Segments
+		st.DiskEntries = ds.Entries
+		st.DiskBytes = ds.Bytes
+	}
+	return st
+}
+
+// AttachDisk installs a disk tier behind the memory tier. Safe to
+// call once, before the cache is shared; a nil receiver or nil disk
+// is a no-op.
+func (c *Cache) AttachDisk(d *Disk) {
+	if c == nil || d == nil {
+		return
+	}
+	c.mu.Lock()
+	c.disk = d
+	c.mu.Unlock()
+}
+
+// diskTier returns the attached disk tier, if any.
+func (c *Cache) diskTier() *Disk {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	d := c.disk
+	c.mu.Unlock()
+	return d
 }
 
 // MarkRequested records that key has been asked for and reports
@@ -186,6 +282,27 @@ func (c *Cache) MarkRequested(key string) bool {
 	c.requested[key] = true
 	c.mu.Unlock()
 	return dup
+}
+
+// RecordRequest books one cache request against the repeat-eval
+// accounting: optimize.evals counts every request and
+// optimize.repeat_evals counts re-requests of a key this cache has
+// seen before. Every consumer of the cache outside the optimizer's
+// own eval tracker (port optimization, flow reference metrics) must
+// call this before Do so the checktrace invariant
+// evcache.hits == optimize.repeat_evals holds for the whole trace,
+// not just the optimize stage. Nil-safe on both receiver and trace;
+// a disabled trace skips the bookkeeping entirely (matching the
+// optimizer, which only tracks when tracing).
+func (c *Cache) RecordRequest(tr *obs.Trace, key string) {
+	if c == nil || !tr.Enabled() {
+		return
+	}
+	dup := c.MarkRequested(key)
+	tr.Counter("optimize.evals").Inc()
+	if dup {
+		tr.Counter("optimize.repeat_evals").Inc()
+	}
 }
 
 // Do returns the entry for key, computing it at most once. On a hit
@@ -235,7 +352,7 @@ func (c *Cache) DoCtx(ctx context.Context, tr *obs.Trace, key string, compute fu
 		c.inflight[key] = ch
 		c.mu.Unlock()
 
-		ent, err := c.runCompute(ctx, key, ch, inj, compute)
+		ent, err := c.runCompute(ctx, tr, key, ch, inj, compute)
 		if err != nil {
 			return nil, err
 		}
@@ -249,7 +366,13 @@ func (c *Cache) DoCtx(ctx context.Context, tr *obs.Trace, key string, compute fu
 // runCompute executes the single-flight computation for key, storing
 // the result on success and always releasing the in-flight slot —
 // including when compute panics — so waiters never block forever.
-func (c *Cache) runCompute(ctx context.Context, key string, ch chan struct{}, inj *fault.Injector, compute func() (*Entry, error)) (ent *Entry, err error) {
+// With a disk tier attached, the disk is consulted before computing
+// (a disk hit skips the computation entirely but still counts as a
+// memory-tier miss, keeping evcache.hits == optimize.repeat_evals on
+// a warm run) and a fresh computation is written through. Disk
+// failures in either direction degrade: a bad read computes, a bad
+// write serves from memory only.
+func (c *Cache) runCompute(ctx context.Context, tr *obs.Trace, key string, ch chan struct{}, inj *fault.Injector, compute func() (*Entry, error)) (ent *Entry, err error) {
 	done := false
 	defer func() {
 		c.mu.Lock()
@@ -262,11 +385,30 @@ func (c *Cache) runCompute(ctx context.Context, key string, ch chan struct{}, in
 		c.mu.Unlock()
 		close(ch)
 	}()
+	if d := c.diskTier(); d != nil {
+		if de, ok := d.get(key, inj, tr); ok {
+			tr.Counter("evcache.disk_hits").Inc()
+			done = true
+			return de, nil
+		}
+		tr.Counter("evcache.disk_misses").Inc()
+	}
 	if err = inj.Hit(fault.SiteEvcacheCompute); err != nil {
 		done = true
 		return nil, err
 	}
 	ent, err = compute()
 	done = true
+	if err == nil {
+		if d := c.diskTier(); d != nil {
+			evicted, werr := d.put(key, ent)
+			if werr != nil {
+				tr.Counter("evcache.disk_write_errors").Inc()
+			}
+			if evicted > 0 {
+				tr.Counter("evcache.disk_evictions").Add(int64(evicted))
+			}
+		}
+	}
 	return ent, err
 }

@@ -2,14 +2,20 @@ package evcache
 
 import (
 	"errors"
+	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 
 	"primopt/internal/cellgen"
+	"primopt/internal/extract"
 	"primopt/internal/obs"
+	"primopt/internal/pdk"
 	"primopt/internal/primlib"
 )
+
+var testTech = pdk.Default()
 
 func testLayout() *cellgen.Layout {
 	return &cellgen.Layout{
@@ -33,38 +39,38 @@ func TestKeySnapshot(t *testing.T) {
 	sz := primlib.Sizing{TotalFins: 960, L: 14}
 	bias := primlib.Bias{Vdd: 0.8, VCM: 0.45}
 	lay := testLayout()
-	base := Key("dp", sz, bias, lay)
+	base := Key(testTech, "dp", sz, bias, lay, nil)
 
-	if again := Key("dp", sz, bias, lay); again != base {
+	if again := Key(testTech, "dp", sz, bias, lay, nil); again != base {
 		t.Errorf("key not stable: %q vs %q", base, again)
 	}
 	// Dummies are part of the snapshot even though Config.ID omits
 	// them — a dummy-count change moves the LDE environment.
 	moreDummies := testLayout()
 	moreDummies.Config.Dummies = 4
-	if Key("dp", sz, bias, moreDummies) == base {
+	if Key(testTech, "dp", sz, bias, moreDummies, nil) == base {
 		t.Error("dummy count not in the key")
 	}
 	wires := testLayout()
 	wires.Wires["s"].NWires = 3
-	if Key("dp", sz, bias, wires) == base {
+	if Key(testTech, "dp", sz, bias, wires, nil) == base {
 		t.Error("wire count not in the key")
 	}
 	otherBias := bias
 	otherBias.ITail = 100e-6
-	if Key("dp", sz, otherBias, lay) == base {
+	if Key(testTech, "dp", sz, otherBias, lay, nil) == base {
 		t.Error("bias not in the key")
 	}
 	otherSz := sz
 	otherSz.TotalFins = 480
-	if Key("dp", otherSz, bias, lay) == base {
+	if Key(testTech, "dp", otherSz, bias, lay, nil) == base {
 		t.Error("sizing not in the key")
 	}
-	if Key("cm", sz, bias, lay) == base {
+	if Key(testTech, "cm", sz, bias, lay, nil) == base {
 		t.Error("kind not in the key")
 	}
 	// The schematic key is distinct from every layout key.
-	if sk := Key("dp", sz, bias, nil); sk == base {
+	if sk := Key(testTech, "dp", sz, bias, nil, nil); sk == base {
 		t.Error("schematic key collides with layout key")
 	}
 }
@@ -205,7 +211,7 @@ func TestMissesCountDistinctSnapshots(t *testing.T) {
 		lay := testLayout()
 		for n := 1; n <= maxW; n++ {
 			lay.Wires["d_a"].NWires = n
-			key := Key("csamp", sz, bias, lay)
+			key := Key(testTech, "csamp", sz, bias, lay, nil)
 			if _, err := c.Do(nil, key, func() (*Entry, error) {
 				computes++
 				return testEntry(), nil
@@ -239,7 +245,112 @@ func TestMissesCountDistinctSnapshots(t *testing.T) {
 	// identical sizing/bias/layout — the csamp situation, where the
 	// "csamp" and "csource_p" instances can never serve each other.
 	lay := testLayout()
-	if Key("csamp", sz, bias, lay) == Key("csource_p", sz, bias, lay) {
+	if Key(testTech, "csamp", sz, bias, lay, nil) == Key(testTech, "csource_p", sz, bias, lay, nil) {
 		t.Error("distinct primitive kinds share a key")
+	}
+}
+
+// TestKeyPDKFingerprint is the regression test for the headline
+// bugfix: before v2 the key omitted the PDK entirely, so two
+// technology variants of the same sizing/layout collided — latent
+// in-process (one PDK per run), wrong-layout-serving the moment
+// entries outlive a process. Two PDK variants must get distinct
+// keys; identical content must key identically across distinct Tech
+// values (content addressing, not pointer addressing).
+func TestKeyPDKFingerprint(t *testing.T) {
+	sz := primlib.Sizing{TotalFins: 960, L: 14}
+	bias := primlib.Bias{Vdd: 0.8, VCM: 0.45}
+	lay := testLayout()
+
+	base := Key(pdk.Default(), "dp", sz, bias, lay, nil)
+
+	// A second Tech value with identical parameters: same key.
+	twin := pdk.Default()
+	if Key(twin, "dp", sz, bias, lay, nil) != base {
+		t.Error("identical PDK content produced different keys (pointer-addressed, not content-addressed)")
+	}
+
+	// The old collision: a variant PDK (retargeted mobility) with the
+	// same sizing and layout must NOT share a key.
+	variant := pdk.Default()
+	variant.U0N *= 1.1
+	if Key(variant, "dp", sz, bias, lay, nil) == base {
+		t.Error("PDK variant shares a key with the base PDK — wrong-PDK entries would be served")
+	}
+	// Structural variants too (an extra metal layer).
+	taller := pdk.Default()
+	taller.Metals = append(taller.Metals, taller.Metals[len(taller.Metals)-1])
+	if Key(taller, "dp", sz, bias, lay, nil) == base {
+		t.Error("metal-stack variant shares a key with the base PDK")
+	}
+
+	// Keys declare their schema generation.
+	if !strings.HasPrefix(base, fmt.Sprintf("v%d|pdk=", SchemaVersion)) {
+		t.Errorf("key %q does not open with schema version and PDK fingerprint", base)
+	}
+}
+
+// TestKeyRoutes pins the external-route section: the same layout
+// evaluated under different port-route overrides is a different
+// snapshot, and route order never matters.
+func TestKeyRoutes(t *testing.T) {
+	sz := primlib.Sizing{TotalFins: 960, L: 14}
+	bias := primlib.Bias{Vdd: 0.8, VCM: 0.45}
+	lay := testLayout()
+
+	bare := Key(testTech, "dp", sz, bias, lay, nil)
+	r1 := map[string]extract.Route{
+		"out": {Layer: 2, Length: 500, NWires: 1, PinLayer: 1, Vias: 2},
+		"in":  {Layer: 1, Length: 300, NWires: 2, PinLayer: 1, Vias: 1},
+	}
+	routed := Key(testTech, "dp", sz, bias, lay, r1)
+	if routed == bare {
+		t.Error("route overrides not in the key")
+	}
+	// Map iteration order cannot leak into the key.
+	r2 := map[string]extract.Route{
+		"in":  {Layer: 1, Length: 300, NWires: 2, PinLayer: 1, Vias: 1},
+		"out": {Layer: 2, Length: 500, NWires: 1, PinLayer: 1, Vias: 2},
+	}
+	if Key(testTech, "dp", sz, bias, lay, r2) != routed {
+		t.Error("route key depends on map iteration order")
+	}
+	wider := map[string]extract.Route{
+		"out": {Layer: 2, Length: 500, NWires: 4, PinLayer: 1, Vias: 2},
+		"in":  r1["in"],
+	}
+	if Key(testTech, "dp", sz, bias, lay, wider) == routed {
+		t.Error("route wire count not in the key")
+	}
+}
+
+// TestApproxBytesAliasing pins the accounting bugfix: an entry whose
+// Layout aliases Ex.Layout (the stored-entry invariant) charges that
+// layout exactly once, and an entry whose extraction carries a
+// distinct layout charges both — the old code never counted
+// Ex.Layout at all, so the two cases wrongly measured identical.
+func TestApproxBytesAliasing(t *testing.T) {
+	lay := testLayout()
+	aliased := &Entry{Layout: lay, Ex: &extract.Extracted{Layout: lay}}
+	distinct := &Entry{Layout: testLayout(), Ex: &extract.Extracted{Layout: testLayout()}}
+	onlyEntry := &Entry{Layout: testLayout(), Ex: &extract.Extracted{}}
+
+	a, d, o := aliased.approxBytes(), distinct.approxBytes(), onlyEntry.approxBytes()
+	if d <= a {
+		t.Errorf("distinct layouts (%d bytes) must cost more than aliased (%d bytes)", d, a)
+	}
+	if want := a + layoutBytes(lay); d != want {
+		t.Errorf("distinct = %d, want aliased + one layout = %d", d, want)
+	}
+	if o != a {
+		t.Errorf("nil Ex.Layout (%d bytes) must match aliased accounting (%d bytes)", o, a)
+	}
+	// The clone invariant keeps stored entries on the cheap path:
+	// clone() re-aliases, so a cloned entry costs what the original
+	// aliased entry costs.
+	ent := testEntry()
+	ent.Ex = &extract.Extracted{Layout: ent.Layout}
+	if cb := ent.clone().approxBytes(); cb != ent.approxBytes() {
+		t.Errorf("clone changed accounting: %d vs %d", cb, ent.approxBytes())
 	}
 }

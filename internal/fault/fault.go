@@ -37,6 +37,7 @@ const (
 	SiteSpiceTranStep  = "spice.tran.step" // one transient timestep
 	SiteRouteNet       = "route.net"       // one net's A* search
 	SiteEvcacheCompute = "evcache.compute" // one cache-miss computation
+	SiteEvcacheDisk    = "evcache.disk"    // one disk-tier record read
 	SitePlaceReplica   = "place.replica"   // one annealing replica
 	SiteExtract        = "extract"         // one primitive extraction
 )
@@ -45,7 +46,7 @@ const (
 func Sites() []string {
 	return []string{
 		SiteSpiceOP, SiteSpiceDC, SiteSpiceTran, SiteSpiceTranStep,
-		SiteRouteNet, SiteEvcacheCompute, SitePlaceReplica, SiteExtract,
+		SiteRouteNet, SiteEvcacheCompute, SiteEvcacheDisk, SitePlaceReplica, SiteExtract,
 	}
 }
 

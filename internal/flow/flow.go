@@ -29,6 +29,7 @@ import (
 	"primopt/internal/circuit"
 	"primopt/internal/circuits"
 	"primopt/internal/cost"
+	"primopt/internal/evcache"
 	"primopt/internal/extract"
 	"primopt/internal/fault"
 	"primopt/internal/geom"
@@ -103,6 +104,17 @@ type Params struct {
 	// sites (tests and the -fault-spec flag install one). Nil is the
 	// zero-cost disabled path.
 	Fault *fault.Injector
+	// CacheDir, when set, backs the evaluation cache with the
+	// persistent disk tier rooted there (opened per run; a cache is
+	// created if Optimize.Cache is nil). Keys are fully
+	// content-addressed — schema version + PDK fingerprint + snapshot
+	// — so a directory is safe to share across runs, benchmarks, and
+	// PDK variants; a warm directory replays every evaluation without
+	// solving a single SPICE deck.
+	CacheDir string
+	// CacheMaxBytes bounds the disk tier (default 1 GiB); exceeding
+	// it retires whole least-recently-used segments.
+	CacheMaxBytes int64
 }
 
 // bind installs the run's fault injector into ctx.
@@ -128,6 +140,27 @@ func (p Params) trace() *obs.Trace {
 		return p.Trace
 	}
 	return obs.Default()
+}
+
+// attachDisk opens the CacheDir disk tier and attaches it behind the
+// evaluation cache, creating the cache when the caller supplied none.
+// Mutates the (value-receiver copy of) Params in place so the rest of
+// the run sees the cache; returns the closer for the disk tier. A
+// blank CacheDir is the zero-cost no-op.
+func (p *Params) attachDisk() (func(), error) {
+	if p.CacheDir == "" {
+		return func() {}, nil
+	}
+	if p.Optimize.Cache == nil {
+		p.Optimize.Cache = evcache.New()
+	}
+	d, err := evcache.OpenDisk(p.CacheDir, evcache.DiskOptions{MaxBytes: p.CacheMaxBytes})
+	if err != nil {
+		return nil, fmt.Errorf("flow: cache dir %s: %w", p.CacheDir, err)
+	}
+	p.Optimize.Cache.AttachDisk(d)
+	//lint:allow errflow detach runs after the last append; segments are append-only and checksummed, so a close error cannot corrupt served data
+	return func() { _ = d.Close() }, nil
 }
 
 // Result is one flow run.
@@ -186,6 +219,11 @@ func Run(t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params) (*Result, err
 func RunContext(ctx context.Context, t *pdk.Tech, bm *circuits.Benchmark, mode Mode, p Params) (*Result, error) {
 	start := time.Now() //lint:allow rngpurity wall time feeds Result.Runtime reporting metadata only, never layout or metric values
 	ctx = p.bind(ctx)
+	detach, err := p.attachDisk()
+	if err != nil {
+		return nil, err
+	}
+	defer detach()
 	res := &Result{Mode: mode, Benchmark: bm.Name}
 	root := p.trace().Start("flow.run")
 	root.SetAttr("circuit", bm.Name)
@@ -217,6 +255,12 @@ func RunContext(ctx context.Context, t *pdk.Tech, bm *circuits.Benchmark, mode M
 			st := c.Stats()
 			root.SetAttr("cache_hits", st.Hits)
 			root.SetAttr("cache_misses", st.Misses)
+			if st.DiskTier {
+				root.SetAttr("disk_hits", st.DiskHits)
+				root.SetAttr("disk_misses", st.DiskMisses)
+				root.SetAttr("disk_write_errors", st.DiskWriteErrs)
+				root.SetAttr("disk_evictions", st.DiskEvictions)
+			}
 		}
 		root.SetAttr("duplicate_decks", obs.Default().Counter("spice.duplicate_decks").Value()-dups0)
 		root.SetAttr("factor_reused", obs.Default().Counter("spice.factor.reused").Value()-reuse0)
@@ -343,6 +387,7 @@ func runLayout(ctx context.Context, t *pdk.Tech, bm *circuits.Benchmark, mode Mo
 		posp := root.Start("flow.portopt")
 		pp := p.Port
 		pp.Obs = posp
+		pp.Cache = p.Optimize.Cache
 		if mode == Manual && pp.MaxWires == 0 {
 			pp.MaxWires = 10
 		}
@@ -352,7 +397,7 @@ func runLayout(ctx context.Context, t *pdk.Tech, bm *circuits.Benchmark, mode Mo
 			if len(ch.routes) == 0 {
 				continue
 			}
-			metrics, err := primMetrics(t, ch)
+			metrics, err := primMetrics(t, ch, p)
 			if err != nil {
 				posp.End()
 				return nil, err
@@ -470,6 +515,11 @@ func VerifyContext(ctx context.Context, t *pdk.Tech, bm *circuits.Benchmark, mod
 	if p.Verify.Mode == VerifyOff {
 		p.Verify.Mode = VerifyWarn
 	}
+	detach, err := p.attachDisk()
+	if err != nil {
+		return nil, err
+	}
+	defer detach()
 	res := &Result{Mode: mode, Benchmark: bm.Name}
 	root := p.trace().Start("flow.run")
 	root.SetAttr("circuit", bm.Name)
@@ -645,14 +695,35 @@ func optimizedChoices(ctx context.Context, t *pdk.Tech, bm *circuits.Benchmark, 
 }
 
 // primMetrics returns the cost metrics for a chosen primitive,
-// reusing the Algorithm 1 result when available.
-func primMetrics(t *pdk.Tech, ch *chosen) ([]cost.Metric, error) {
+// reusing the Algorithm 1 result when available. The schematic
+// reference eval routes through the cache under the same key the
+// optimizer uses, so a warm disk tier satisfies it without SPICE.
+func primMetrics(t *pdk.Tech, ch *chosen, p Params) ([]cost.Metric, error) {
 	if ch.metrics != nil {
 		return ch.metrics, nil
 	}
-	sch, err := ch.entry.Evaluate(t, ch.inst.Sizing, ch.bias, nil, nil)
-	if err != nil {
-		return nil, err
+	var sch *primlib.Eval
+	if c := p.Optimize.Cache; c != nil {
+		tr := p.trace()
+		key := evcache.Key(t, ch.entry.Kind, ch.inst.Sizing, ch.bias, nil, nil)
+		c.RecordRequest(tr, key)
+		ent, err := c.Do(tr, key, func() (*evcache.Entry, error) {
+			ev, err := ch.entry.Evaluate(t, ch.inst.Sizing, ch.bias, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			return &evcache.Entry{Eval: ev}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		sch = ent.Eval
+	} else {
+		var err error
+		sch, err = ch.entry.Evaluate(t, ch.inst.Sizing, ch.bias, nil, nil)
+		if err != nil {
+			return nil, err
+		}
 	}
 	m, err := ch.entry.CostMetrics(t, ch.inst.Sizing, sch)
 	if err != nil {

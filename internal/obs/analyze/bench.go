@@ -32,13 +32,18 @@ type BenchRun struct {
 	// PlaceBestCost is the winning replica's annealing cost, so a
 	// replicas>1 entry can be compared against the single-chain one
 	// at equal-or-better quality, not just on wall time.
-	Replicas       int     `json:"place_replicas,omitempty"`
-	PlaceBestCost  float64 `json:"place_best_cost,omitempty"`
-	TotalMS        float64 `json:"total_ms"`
-	Sims           float64 `json:"sims,omitempty"`
-	EvcacheHits    int64   `json:"evcache_hits,omitempty"`
-	EvcacheMisses  int64   `json:"evcache_misses,omitempty"`
-	DuplicateDecks int64   `json:"duplicate_decks,omitempty"`
+	Replicas      int     `json:"place_replicas,omitempty"`
+	PlaceBestCost float64 `json:"place_best_cost,omitempty"`
+	TotalMS       float64 `json:"total_ms"`
+	Sims          float64 `json:"sims,omitempty"`
+	EvcacheHits   int64   `json:"evcache_hits,omitempty"`
+	EvcacheMisses int64   `json:"evcache_misses,omitempty"`
+	// DiskHits/DiskMisses are the persistent tier's per-run deltas: a
+	// warm run shows all disk hits and zero decks, which is the whole
+	// point of sharing a -cache-dir across runs.
+	DiskHits       int64 `json:"disk_hits,omitempty"`
+	DiskMisses     int64 `json:"disk_misses,omitempty"`
+	DuplicateDecks int64 `json:"duplicate_decks,omitempty"`
 	// FactorReused counts Newton solves served by recycling the pivot
 	// order of an earlier LU factorization; NewtonBypassed counts
 	// Newton iterations that skipped the Jacobian restamp/refactor

@@ -149,7 +149,7 @@ func OptimizeCtx(ctx context.Context, t *pdk.Tech, e *primlib.Entry, sz primlib.
 	// Line 3 precondition: schematic reference and cost metrics. The
 	// reference deck depends only on (kind, sizing, bias), so with a
 	// shared cache identical instances of a circuit reuse it too.
-	schKey := evcache.Key(e.Kind, sz, bias, nil)
+	schKey := evcache.Key(t, e.Kind, sz, bias, nil, nil)
 	if p.Cache != nil {
 		et.record(schKey)
 	}
@@ -326,7 +326,7 @@ func (env *evalEnv) context() context.Context {
 // clones).
 func (env *evalEnv) eval(lay *cellgen.Layout) (*Option, error) {
 	ctx := env.context()
-	key := evcache.Key(env.e.Kind, env.sz, env.bias, lay)
+	key := evcache.Key(env.t, env.e.Kind, env.sz, env.bias, lay, nil)
 	env.et.record(key)
 	compute := func() (*evcache.Entry, error) {
 		select {

@@ -17,7 +17,10 @@
 // All lengths are nanometers; resistances ohms; capacitances farads.
 package pdk
 
-import "fmt"
+import (
+	"fmt"
+	"hash/fnv"
+)
 
 // Layer identifies a routing layer. Layer 0 is M1; via v(i) connects
 // layer i to layer i+1.
@@ -151,6 +154,25 @@ func Default() *Tech {
 		},
 	}
 	return t
+}
+
+// Fingerprint returns a short content hash over every technology
+// parameter — the PDK/model component of a content-addressed cache
+// key. Two Tech values with identical parameters fingerprint
+// identically regardless of pointer identity; any parameter change
+// (a retargeted mobility, an extra metal layer) produces a different
+// fingerprint, so cached evaluations can never cross PDK variants.
+// The hash covers the rendered value of every exported field (all
+// Tech state is exported value data), making it a pure function of
+// the technology content.
+func (t *Tech) Fingerprint() string {
+	if t == nil {
+		return "none"
+	}
+	h := fnv.New64a()
+	//lint:allow errflow hash.Hash.Write never errors, so Fprintf into it cannot either
+	fmt.Fprintf(h, "%+v", *t)
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // NumLayers returns the number of routing layers.

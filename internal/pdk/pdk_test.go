@@ -141,3 +141,38 @@ func TestParallelWireRCInvariant(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestFingerprint pins the content-addressing contract the evaluation
+// cache's disk tier depends on: the fingerprint is a pure function of
+// the technology parameters, not of pointer identity, and every
+// parameter perturbation — electrical, geometric, or in the metal
+// stack — moves it.
+func TestFingerprint(t *testing.T) {
+	base := Default().Fingerprint()
+	if base == "" || base == "none" {
+		t.Fatalf("default fingerprint = %q", base)
+	}
+	if Default().Fingerprint() != base {
+		t.Error("fingerprint differs across identical Tech values")
+	}
+	var nilTech *Tech
+	if nilTech.Fingerprint() != "none" {
+		t.Error("nil tech fingerprint not the sentinel")
+	}
+	mutations := []func(*Tech){
+		func(tc *Tech) { tc.Name = "synth7b" },
+		func(tc *Tech) { tc.VthN += 0.01 },
+		func(tc *Tech) { tc.U0P *= 1.001 },
+		func(tc *Tech) { tc.FinPitch++ },
+		func(tc *Tech) { tc.Metals[1].SheetRes *= 2 },
+		func(tc *Tech) { tc.Vias[0].Res += 1 },
+		func(tc *Tech) { tc.Metals = tc.Metals[:len(tc.Metals)-1] },
+	}
+	for i, mut := range mutations {
+		tc := Default()
+		mut(tc)
+		if tc.Fingerprint() == base {
+			t.Errorf("mutation %d did not change the fingerprint", i)
+		}
+	}
+}

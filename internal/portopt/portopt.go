@@ -18,7 +18,9 @@ import (
 	"math"
 	"sort"
 
+	"primopt/internal/cellgen"
 	"primopt/internal/cost"
+	"primopt/internal/evcache"
 	"primopt/internal/extract"
 	"primopt/internal/numeric"
 	"primopt/internal/obs"
@@ -67,6 +69,12 @@ type Params struct {
 	// portopt.reconcile spans; metrics fall back to obs.Default()
 	// when nil.
 	Obs *obs.Span
+	// Cache, when set, memoizes the route-override evaluations. The
+	// sweep and the reconcile gap search revisit (layout, routes)
+	// snapshots — and with a disk tier a repeat run revisits all of
+	// them — so the cost evaluations route through the same
+	// content-addressed cache the optimizer uses.
+	Cache *evcache.Cache
 }
 
 func (p Params) withDefaults() Params {
@@ -125,12 +133,44 @@ func routesWith(pi *PrimInstance, net string, n int) map[string]extract.Route {
 	return out
 }
 
-// costAt evaluates a primitive's cost with the given route override.
-func costAt(t *pdk.Tech, pi *PrimInstance, net string, n int) (float64, int, error) {
+// costAt evaluates a primitive's cost with the given route override,
+// through the cache when one is installed. Cached entries carry only
+// the Eval (the layout and extraction are the caller's own), and
+// every request is booked via RecordRequest so the trace-wide
+// evcache.hits == optimize.repeat_evals invariant survives portopt
+// joining the cache's consumers.
+func costAt(t *pdk.Tech, pi *PrimInstance, net string, n int, p Params) (float64, int, error) {
 	obs.Default().Counter("portopt.evals").Inc()
-	ev, err := pi.Entry.Evaluate(t, pi.Sizing, pi.Bias, pi.Ex, routesWith(pi, net, n))
-	if err != nil {
-		return 0, 0, fmt.Errorf("portopt: %s on %s (n=%d): %w", pi.Name, net, n, err)
+	routes := routesWith(pi, net, n)
+	var ev *primlib.Eval
+	if p.Cache != nil {
+		var lay *cellgen.Layout
+		if pi.Ex != nil {
+			lay = pi.Ex.Layout
+		}
+		tr := p.Obs.Trace()
+		if tr == nil {
+			tr = obs.Default()
+		}
+		key := evcache.Key(t, pi.Entry.Kind, pi.Sizing, pi.Bias, lay, routes)
+		p.Cache.RecordRequest(tr, key)
+		ent, err := p.Cache.Do(tr, key, func() (*evcache.Entry, error) {
+			e, err := pi.Entry.Evaluate(t, pi.Sizing, pi.Bias, pi.Ex, routes)
+			if err != nil {
+				return nil, err
+			}
+			return &evcache.Entry{Eval: e}, nil
+		})
+		if err != nil {
+			return 0, 0, fmt.Errorf("portopt: %s on %s (n=%d): %w", pi.Name, net, n, err)
+		}
+		ev = ent.Eval
+	} else {
+		var err error
+		ev, err = pi.Entry.Evaluate(t, pi.Sizing, pi.Bias, pi.Ex, routes)
+		if err != nil {
+			return 0, 0, fmt.Errorf("portopt: %s on %s (n=%d): %w", pi.Name, net, n, err)
+		}
 	}
 	c, _, err := primlib.Cost(pi.Metrics, ev)
 	if err != nil {
@@ -163,7 +203,7 @@ func GenerateConstraints(t *pdk.Tech, pi *PrimInstance, p Params) ([]Constraint,
 	for _, net := range nets {
 		curve := make([]float64, 0, p.MaxWires)
 		for n := 1; n <= p.MaxWires; n++ {
-			c, s, err := costAt(t, pi, net, n)
+			c, s, err := costAt(t, pi, net, n, p)
 			if err != nil {
 				return nil, sims, err
 			}
@@ -260,7 +300,7 @@ func Reconcile(t *pdk.Tech, prims []*PrimInstance, cons []Constraint, p Params) 
 				if !ok {
 					return nil, sims, fmt.Errorf("portopt: unknown primitive %q in constraint", c.Prim)
 				}
-				cv, s, err := costAt(t, pi, net, n)
+				cv, s, err := costAt(t, pi, net, n, p)
 				if err != nil {
 					return nil, sims, err
 				}

@@ -4,7 +4,9 @@ import (
 	"testing"
 
 	"primopt/internal/cellgen"
+	"primopt/internal/evcache"
 	"primopt/internal/extract"
+	"primopt/internal/obs"
 	"primopt/internal/pdk"
 	"primopt/internal/primlib"
 )
@@ -221,5 +223,56 @@ func TestReconcileUnknownPrimitive(t *testing.T) {
 	}
 	if _, _, err := Reconcile(tech, nil, cons, Params{}); err == nil {
 		t.Error("unknown primitive in disjoint reconciliation accepted")
+	}
+}
+
+// TestOptimizeCached pins two properties of the cached path: the
+// result is bit-identical to the uncached path, and a second
+// optimization over the same instances computes nothing — every
+// sweep snapshot is a cache hit (the warm-run scenario the disk
+// tier extends across processes).
+func TestOptimizeCached(t *testing.T) {
+	mk := func() []*PrimInstance {
+		return []*PrimInstance{dpInstance(t, "dp0"), cmInstance(t, "cm0", "net4")}
+	}
+	base, err := Optimize(tech, mk(), Params{MaxWires: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := evcache.New()
+	tr := obs.New()
+	cached, err := Optimize(tech, mk(), Params{MaxWires: 5, Cache: c, Obs: tr.Start("test")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cached.Wires) != len(base.Wires) {
+		t.Fatalf("wires = %v, want %v", cached.Wires, base.Wires)
+	}
+	for net, n := range base.Wires {
+		if cached.Wires[net] != n {
+			t.Errorf("net %s: cached %d, uncached %d", net, cached.Wires[net], n)
+		}
+	}
+	st := c.Stats()
+	if st.Misses == 0 {
+		t.Fatal("cached run never consulted the cache")
+	}
+	// Same instances again: everything is a repeat request, and the
+	// request accounting must balance hits exactly.
+	again, err := Optimize(tech, mk(), Params{MaxWires: 5, Cache: c, Obs: tr.Start("test2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for net, n := range base.Wires {
+		if again.Wires[net] != n {
+			t.Errorf("warm net %s: %d, want %d", net, again.Wires[net], n)
+		}
+	}
+	st2 := c.Stats()
+	if st2.Misses != st.Misses {
+		t.Errorf("warm re-optimize computed %d new entries", st2.Misses-st.Misses)
+	}
+	if hits := tr.Counter("evcache.hits").Value(); hits != tr.Counter("optimize.repeat_evals").Value() {
+		t.Errorf("evcache.hits %d != optimize.repeat_evals %d", hits, tr.Counter("optimize.repeat_evals").Value())
 	}
 }
