@@ -13,11 +13,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"primopt/internal/cellgen"
@@ -102,6 +106,8 @@ func main() {
 			os.Exit(runBenchDiff(os.Args[2:]))
 		case "cache":
 			os.Exit(runCacheCmd(os.Args[2:]))
+		case "serve":
+			os.Exit(runServeCmd(os.Args[2:]))
 		}
 	}
 	circuitName := flag.String("circuit", "", "benchmark circuit: csamp, ota5t, strongarm, rovco, telescopic")
@@ -135,6 +141,13 @@ func main() {
 		fatal(err)
 	}
 
+	// SIGINT/SIGTERM cancel the flow context: solver inner loops
+	// unwind promptly, and because finishObs still runs below, the
+	// partial -trace/-bench-out artifacts land on disk anyway. A
+	// second signal falls through to the default handler (hard kill).
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	var runErr error
 	switch {
 	case *mcRun:
@@ -142,13 +155,16 @@ func main() {
 	case *table != "":
 		runErr = runTables(tech, *table, *stages)
 	case *circuitName != "":
-		runErr = runCircuit(tech, *circuitName, *mode, *stages, *seed, *cache, *cacheDir, *cacheMax, *workers, *placeReplicas, ff)
+		runErr = runCircuit(ctx, tech, *circuitName, *mode, *stages, *seed, *cache, *cacheDir, *cacheMax, *workers, *placeReplicas, ff)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
-	// Flush traces and profiles even when the run failed, so partial
-	// traces are available for debugging the failure.
+	if errors.Is(runErr, context.Canceled) && ctx.Err() != nil {
+		runErr = fmt.Errorf("interrupted (%w)", runErr)
+	}
+	// Flush traces and profiles even when the run failed or was
+	// interrupted, so partial traces are available for debugging.
 	if err := finishObs(); err != nil {
 		fmt.Fprintln(os.Stderr, "primopt: observability flush:", err)
 	}
@@ -163,23 +179,10 @@ func fatal(err error) {
 }
 
 func buildCircuit(tech *pdk.Tech, name string, stages int) (*circuits.Benchmark, error) {
-	switch name {
-	case "csamp":
-		return circuits.CommonSource(tech)
-	case "ota5t":
-		return circuits.OTA5T(tech)
-	case "strongarm":
-		return circuits.StrongARM(tech)
-	case "rovco":
-		return circuits.ROVCO(tech, stages)
-	case "telescopic":
-		return circuits.Telescopic(tech)
-	default:
-		return nil, fmt.Errorf("unknown circuit %q (want csamp, ota5t, strongarm, rovco, telescopic)", name)
-	}
+	return circuits.Build(tech, name, stages)
 }
 
-func runCircuit(tech *pdk.Tech, name, modeName string, stages int, seed int64, cache bool, cacheDir string, cacheMax int64, workers, placeReplicas int, ff faultFlags) error {
+func runCircuit(ctx context.Context, tech *pdk.Tech, name, modeName string, stages int, seed int64, cache bool, cacheDir string, cacheMax int64, workers, placeReplicas int, ff faultFlags) error {
 	bm, err := buildCircuit(tech, name, stages)
 	if err != nil {
 		return err
@@ -222,7 +225,7 @@ func runCircuit(tech *pdk.Tech, name, modeName string, stages int, seed int64, c
 			p.CacheDir = cacheDir
 			p.CacheMaxBytes = cacheMax
 		}
-		r, err := flow.Run(tech, bm, m, p)
+		r, err := flow.RunContext(ctx, tech, bm, m, p)
 		if err != nil {
 			return err
 		}

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"primopt/internal/evcache"
 	"primopt/internal/flow"
@@ -84,6 +87,11 @@ func runVerifyCmd(args []string) int {
 		order = []flow.Mode{m}
 	}
 
+	// SIGINT/SIGTERM cancel the verification flow; the deferred
+	// finishObs above still flushes partial traces.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	status := 0
 	for _, m := range order {
 		p := flow.Params{Seed: *seed}
@@ -96,7 +104,7 @@ func runVerifyCmd(args []string) int {
 			p.Optimize.Cache = evcache.New()
 			p.CacheDir = *cacheDir
 		}
-		rep, err := flow.Verify(tech, bm, m, p)
+		rep, err := flow.VerifyContext(ctx, tech, bm, m, p)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "primopt verify: %s/%v: %v\n", bm.Name, m, err)
 			return 2

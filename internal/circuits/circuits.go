@@ -10,6 +10,7 @@ package circuits
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"primopt/internal/circuit"
 	"primopt/internal/pdk"
@@ -109,6 +110,36 @@ func (b *Benchmark) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Names lists the benchmark circuits Build understands, sorted — the
+// vocabulary the CLI flags and the serve API validate against.
+func Names() []string {
+	return []string{"csamp", "ota5t", "rovco", "strongarm", "telescopic"}
+}
+
+// Build constructs a benchmark by name. stages applies to the RO-VCO
+// only (values < 1 take the paper's 8-stage default). Unknown names
+// return a descriptive error listing the vocabulary, so callers can
+// surface it verbatim as a usage / bad-request message.
+func Build(t *pdk.Tech, name string, stages int) (*Benchmark, error) {
+	if stages < 1 {
+		stages = 8
+	}
+	switch name {
+	case "csamp":
+		return CommonSource(t)
+	case "ota5t":
+		return OTA5T(t)
+	case "strongarm":
+		return StrongARM(t)
+	case "rovco":
+		return ROVCO(t, stages)
+	case "telescopic":
+		return Telescopic(t)
+	default:
+		return nil, fmt.Errorf("unknown circuit %q (want %s)", name, strings.Join(Names(), ", "))
+	}
 }
 
 // opOf simulates the schematic operating point.

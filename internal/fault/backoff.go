@@ -1,0 +1,113 @@
+package fault
+
+import (
+	"context"
+	"time"
+)
+
+// Backoff is a deterministic jittered exponential-backoff schedule:
+// the retry ladder's answer to "how long do I wait before trying
+// again". The delay before retry k doubles from Base, saturates at
+// Cap, and is half fixed / half jittered, with the jitter drawn from
+// the same seeded splitmix64 stream the injector uses — two schedules
+// built from equal (Seed, Tag) produce identical delays, so a
+// fault-armed run that retries is as reproducible as one that does
+// not. The zero value is a usable schedule with conservative
+// defaults (one retry after ~2ms).
+//
+// Consumers: the flow's optimize retry ladder (replacing its original
+// immediate single retry) and the serve daemon's Retry-After hints,
+// which map shed pressure onto the same curve so clients back off in
+// step with the server's own schedule.
+type Backoff struct {
+	Base time.Duration // delay before the first retry (default 2ms)
+	Cap  time.Duration // upper bound on any single delay (default 1s)
+	// Attempts is the total number of attempts permitted, including
+	// the first (default 2 — i.e. one retry).
+	Attempts int
+	Seed     int64
+	Tag      string // jitter stream tag; pair with Seed for reproducibility
+}
+
+func (b Backoff) maxAttempts() int {
+	if b.Attempts > 0 {
+		return b.Attempts
+	}
+	return 2
+}
+
+func (b Backoff) baseDelay() time.Duration {
+	if b.Base > 0 {
+		return b.Base
+	}
+	return 2 * time.Millisecond
+}
+
+func (b Backoff) capDelay() time.Duration {
+	c := b.Cap
+	if c <= 0 {
+		c = time.Second
+	}
+	if base := b.baseDelay(); c < base {
+		c = base
+	}
+	return c
+}
+
+// Delay returns the pause before retry number retry (1-based: the
+// wait between attempt retry and attempt retry+1). The exponential
+// term is capped before jittering, so the result is always in
+// [d/2, d] for d = min(Cap, Base<<(retry-1)) — bounded, monotone in
+// expectation, and a pure function of (Seed, Tag, retry).
+func (b Backoff) Delay(retry int) time.Duration {
+	if retry < 1 {
+		retry = 1
+	}
+	d := b.baseDelay()
+	capd := b.capDelay()
+	// Shift with saturation: past ~62 doublings (or once the cap is
+	// reached) the exponential term is just the cap.
+	for i := 1; i < retry && d < capd; i++ {
+		if d > capd/2 {
+			d = capd
+			break
+		}
+		d <<= 1
+	}
+	if d > capd {
+		d = capd
+	}
+	half := d / 2
+	return half + Jitter(b.Seed, b.Tag, retry, half+1)
+}
+
+// Next reports whether another attempt is permitted after attempts
+// full attempts (1-based), and the delay to wait before it. The
+// terminal attempt returns (0, false).
+func (b Backoff) Next(attempts int) (time.Duration, bool) {
+	if attempts < 1 || attempts >= b.maxAttempts() {
+		return 0, false
+	}
+	return b.Delay(attempts), true
+}
+
+// Sleep waits for d or until ctx is done, whichever comes first,
+// returning the context's error in the latter case. A non-positive d
+// returns immediately (after a ctx check), so callers can pass a
+// schedule's delay unconditionally.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

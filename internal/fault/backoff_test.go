@@ -1,0 +1,97 @@
+package fault
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministic(t *testing.T) {
+	a := Backoff{Base: 10 * time.Millisecond, Cap: time.Second, Attempts: 5, Seed: 7, Tag: "x"}
+	b := Backoff{Base: 10 * time.Millisecond, Cap: time.Second, Attempts: 5, Seed: 7, Tag: "x"}
+	for k := 1; k <= 8; k++ {
+		if a.Delay(k) != b.Delay(k) {
+			t.Fatalf("retry %d: equal schedules disagree: %v != %v", k, a.Delay(k), b.Delay(k))
+		}
+	}
+	c := Backoff{Base: 10 * time.Millisecond, Cap: time.Second, Attempts: 5, Seed: 8, Tag: "x"}
+	same := true
+	for k := 1; k <= 8; k++ {
+		if a.Delay(k) != c.Delay(k) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical 8-delay schedule")
+	}
+}
+
+func TestBackoffBoundsAndGrowth(t *testing.T) {
+	b := Backoff{Base: 8 * time.Millisecond, Cap: 100 * time.Millisecond, Attempts: 10, Seed: 1, Tag: "b"}
+	for k := 1; k <= 20; k++ {
+		d := b.Delay(k)
+		// Every delay sits in [expd/2, expd] for the capped
+		// exponential expd = min(Cap, Base<<(k-1)).
+		expd := 8 * time.Millisecond << (k - 1)
+		if k > 10 || expd > b.Cap || expd <= 0 {
+			expd = b.Cap
+		}
+		if d < expd/2 || d > expd {
+			t.Errorf("retry %d: delay %v outside [%v, %v]", k, d, expd/2, expd)
+		}
+	}
+}
+
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	var b Backoff
+	if _, ok := b.Next(1); !ok {
+		t.Error("zero-value schedule should permit one retry")
+	}
+	if _, ok := b.Next(2); ok {
+		t.Error("zero-value schedule permitted a second retry (want 2 attempts total)")
+	}
+	d := b.Delay(1)
+	if d <= 0 || d > 2*time.Millisecond {
+		t.Errorf("zero-value first delay %v outside (0, 2ms]", d)
+	}
+}
+
+func TestBackoffNext(t *testing.T) {
+	b := Backoff{Attempts: 3, Base: time.Millisecond, Seed: 3, Tag: "n"}
+	if _, ok := b.Next(0); ok {
+		t.Error("Next(0) permitted a retry before any attempt")
+	}
+	for attempts := 1; attempts <= 2; attempts++ {
+		if d, ok := b.Next(attempts); !ok || d <= 0 {
+			t.Errorf("Next(%d) = (%v, %v), want a positive delay", attempts, d, ok)
+		}
+	}
+	if _, ok := b.Next(3); ok {
+		t.Error("Next(3) permitted a fourth attempt with Attempts=3")
+	}
+}
+
+func TestBackoffCapBelowBase(t *testing.T) {
+	b := Backoff{Base: 50 * time.Millisecond, Cap: time.Millisecond, Seed: 1, Tag: "c"}
+	if d := b.Delay(1); d < 25*time.Millisecond || d > 50*time.Millisecond {
+		t.Errorf("cap below base: delay %v should honor the base (want [25ms, 50ms])", d)
+	}
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, time.Hour); err != context.Canceled {
+		t.Errorf("Sleep on canceled ctx = %v, want context.Canceled", err)
+	}
+	if err := Sleep(context.Background(), 0); err != nil {
+		t.Errorf("Sleep(0) = %v, want nil", err)
+	}
+	start := time.Now()
+	if err := Sleep(context.Background(), time.Millisecond); err != nil {
+		t.Errorf("Sleep(1ms) = %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("Sleep(1ms) slept absurdly long")
+	}
+}

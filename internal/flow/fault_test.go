@@ -87,6 +87,46 @@ func TestFlowRetryClearsOneShotFault(t *testing.T) {
 	}
 }
 
+// TestFlowRetryLadderConfigurable: Params.Retry shapes the ladder.
+// Attempts=1 disables retries entirely — a one-shot fault now costs a
+// degradation instead of being retried away — while a widened ladder
+// still absorbs it and books exactly one retry (the loop stops as
+// soon as an attempt succeeds, however many attempts remain).
+func TestFlowRetryLadderConfigurable(t *testing.T) {
+	bm, err := circuits.CommonSource(tech)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := testTrace(t)
+	p := faultParams(t, fault.SiteExtract+":error@1")
+	p.Retry = fault.Backoff{Attempts: 1}
+	res, err := Run(tech, bm, Optimized, p)
+	if err != nil {
+		t.Fatalf("no-retry run died instead of degrading: %v", err)
+	}
+	if len(res.Degraded) != 1 {
+		t.Errorf("Attempts=1: Degraded = %v, want exactly the one faulted instance", res.Degraded)
+	}
+	if n := tr.Counter("flow.retries").Value(); n != 0 {
+		t.Errorf("Attempts=1: flow.retries = %d, want 0", n)
+	}
+
+	tr = testTrace(t)
+	p = faultParams(t, fault.SiteExtract+":error@1")
+	p.Retry = fault.Backoff{Attempts: 4, Base: time.Microsecond}
+	res, err = Run(tech, bm, Optimized, p)
+	if err != nil {
+		t.Fatalf("widened-ladder run died: %v", err)
+	}
+	if len(res.Degraded) != 0 {
+		t.Errorf("Attempts=4: Degraded = %v, want none", res.Degraded)
+	}
+	if n := tr.Counter("flow.retries").Value(); n != 1 {
+		t.Errorf("Attempts=4: flow.retries = %d, want 1 (stop on first success)", n)
+	}
+}
+
 // TestFlowPanicFaultDegrades: a panic-mode fault inside the primitive
 // pipeline is recovered and follows the same degradation ladder.
 func TestFlowPanicFaultDegrades(t *testing.T) {

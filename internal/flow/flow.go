@@ -115,6 +115,14 @@ type Params struct {
 	// CacheMaxBytes bounds the disk tier (default 1 GiB); exceeding
 	// it retires whole least-recently-used segments.
 	CacheMaxBytes int64
+	// Retry shapes the optimize retry ladder: Attempts bounds the
+	// total tries per primitive instance and Base/Cap the jittered
+	// exponential pause between them. The zero value keeps the
+	// original behavior of one retry (now preceded by a ~2ms jittered
+	// pause instead of an immediate re-attempt). Seed and Tag are
+	// overridden per run/instance so delays are a pure function of
+	// (Params.Seed, instance).
+	Retry fault.Backoff
 }
 
 // bind installs the run's fault injector into ctx.
@@ -648,12 +656,26 @@ func optimizedChoices(ctx context.Context, t *pdk.Tech, bm *circuits.Benchmark, 
 				}()
 				return optimize.OptimizeCtx(ctx, t, entry, in.Sizing, in.Bias(op), op1)
 			}
+			// Rung 1: retry under the jittered backoff schedule — an
+			// injected or transient fault at a specific hit count
+			// clears on a later pass, and the deterministic pause
+			// (seeded per instance, replacing the old immediate single
+			// retry) gives a transiently overloaded resource room to
+			// recover instead of hammering it.
+			bo := p.Retry
+			bo.Seed = p.Seed
+			bo.Tag = "flow.retry." + in.Name
 			r, err := attempt()
-			if err != nil && ctx.Err() == nil {
-				// Rung 1: retry once — an injected or transient fault
-				// at a specific hit count clears on the second pass.
+			for tries := 1; err != nil && ctx.Err() == nil; tries++ {
+				delay, ok := bo.Next(tries)
+				if !ok {
+					break
+				}
 				tr.Counter("flow.retries").Inc()
 				ps.SetAttr("retried", true)
+				if fault.Sleep(ctx, delay) != nil {
+					break
+				}
 				r, err = attempt()
 			}
 			if err == nil {

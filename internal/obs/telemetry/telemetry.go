@@ -7,12 +7,13 @@
 //	/spans        the span forest as a JSON snapshot, safe to poll
 //	              mid-run (unended spans report running durations)
 //	/healthz      liveness probe
+//	/readyz       readiness probe (flips to 503 while a daemon drains)
 //	/debug/pprof  the standard pprof mux
 //
-// It is the exact HTTP surface a long-lived `primopt serve` daemon
-// will mount; today it embeds into one-shot CLI runs via the
-// -telemetry flag so an in-flight optimization can be observed from
-// outside the process. Everything reads through Trace.Snapshot, which
+// It is the HTTP surface the long-lived `primopt serve` daemon
+// mounts alongside its request API (internal/serve), and it embeds
+// into one-shot CLI runs via the -telemetry flag so an in-flight
+// optimization can be observed from outside the process. Everything reads through Trace.Snapshot, which
 // locks only long enough to copy — polling never blocks the flow.
 package telemetry
 
@@ -31,8 +32,20 @@ import (
 
 // Handler returns the telemetry mux over tr. The trace may be nil
 // (endpoints serve empty snapshots), so the surface can be mounted
-// before observability is configured.
+// before observability is configured. The /readyz probe always
+// answers ready; daemons that drain use HandlerReady instead.
 func Handler(tr *obs.Trace) http.Handler {
+	return HandlerReady(tr, nil)
+}
+
+// HandlerReady is Handler with an injected readiness check backing
+// /readyz: nil (or a func returning true) answers 200 "ready"; a func
+// returning false answers 503 "draining". Liveness (/healthz) and
+// readiness are deliberately distinct probes — a draining daemon is
+// still alive (in-flight work is finishing, /metrics and /spans keep
+// serving) but must stop receiving new traffic, which is exactly the
+// distinction load balancers act on.
+func HandlerReady(tr *obs.Trace, ready func() bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		serveMetrics(w, tr)
@@ -43,6 +56,19 @@ func Handler(tr *obs.Trace) http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if _, err := w.Write([]byte("ok\n")); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready != nil && !ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			if _, err := w.Write([]byte("draining\n")); err != nil {
+				return
+			}
+			return
+		}
+		if _, err := w.Write([]byte("ready\n")); err != nil {
 			return
 		}
 	})

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -92,6 +93,33 @@ func TestHandlerSurface(t *testing.T) {
 	code, body = get(t, srv.URL+"/debug/pprof/")
 	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
 		t.Errorf("/debug/pprof/ = %d", code)
+	}
+}
+
+// TestHandlerReady: /readyz reflects the injected readiness check —
+// ready while the daemon admits, 503 "draining" once it stops — while
+// /healthz (liveness) stays green throughout, and the plain Handler
+// (no check) is always ready.
+func TestHandlerReady(t *testing.T) {
+	var draining atomic.Bool
+	srv := httptest.NewServer(HandlerReady(obs.New(), func() bool { return !draining.Load() }))
+	defer srv.Close()
+
+	if code, body := get(t, srv.URL+"/readyz"); code != http.StatusOK || body != "ready\n" {
+		t.Errorf("/readyz before drain = %d %q", code, body)
+	}
+	draining.Store(true)
+	if code, body := get(t, srv.URL+"/readyz"); code != http.StatusServiceUnavailable || body != "draining\n" {
+		t.Errorf("/readyz during drain = %d %q", code, body)
+	}
+	if code, _ := get(t, srv.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz during drain = %d, liveness must stay green", code)
+	}
+
+	plain := httptest.NewServer(Handler(nil))
+	defer plain.Close()
+	if code, body := get(t, plain.URL+"/readyz"); code != http.StatusOK || body != "ready\n" {
+		t.Errorf("/readyz with no check = %d %q", code, body)
 	}
 }
 

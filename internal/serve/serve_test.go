@@ -1,0 +1,446 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"primopt/internal/flow"
+	"primopt/internal/obs"
+	"primopt/internal/pdk"
+)
+
+var tech = pdk.Default()
+
+// stubFlow is the runFlow seam type, minus the fixed tech argument.
+type stubFlow func(ctx context.Context, bm benchmarkRef, mode flow.Mode, p flow.Params) (*flow.Result, error)
+
+// newStubServer builds a Server whose flow runs are the stub — the
+// admission, isolation, deadline, and drain machinery under test,
+// with no SPICE underneath.
+func newStubServer(t *testing.T, cfg Config, run stubFlow) *Server {
+	t.Helper()
+	if cfg.Trace == nil {
+		cfg.Trace = obs.New()
+	}
+	s, err := New(tech, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.runFlow = func(ctx context.Context, tt *pdk.Tech, bm benchmarkRef, mode flow.Mode, p flow.Params) (*flow.Result, error) {
+		return run(ctx, bm, mode, p)
+	}
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return s
+}
+
+func okFlow(metrics map[string]float64) stubFlow {
+	return func(ctx context.Context, bm benchmarkRef, mode flow.Mode, p flow.Params) (*flow.Result, error) {
+		return &flow.Result{Benchmark: bm.name, Mode: mode, Metrics: metrics, Sims: 7}, nil
+	}
+}
+
+func post(t *testing.T, url, body string) (int, http.Header, string) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/generate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("POST read: %v", err)
+	}
+	return resp.StatusCode, resp.Header, string(b)
+}
+
+func errKind(t *testing.T, body string) string {
+	t.Helper()
+	var e ErrorBody
+	if err := json.Unmarshal([]byte(body), &e); err != nil {
+		t.Fatalf("error body not JSON: %v\n%s", err, body)
+	}
+	return e.Kind
+}
+
+func TestGenerateHappyPath(t *testing.T) {
+	s := newStubServer(t, Config{}, okFlow(map[string]float64{"ugf": 1.5e9, "gain": 30}))
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	code, hdr, body := post(t, srv.URL, `{"circuit":"csamp","seed":3}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp Response
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("body not JSON: %v", err)
+	}
+	if resp.Circuit != "csamp" || resp.Mode != "optimized" || resp.Seed != 3 || resp.Sims != 7 {
+		t.Errorf("resp = %+v", resp)
+	}
+	if resp.Metrics["ugf"] != 1.5e9 {
+		t.Errorf("metrics = %v", resp.Metrics)
+	}
+	if len(resp.MetricOrder) == 0 || len(resp.Units) == 0 {
+		t.Errorf("metric order/units missing: %+v", resp)
+	}
+	if resp.Trace != nil {
+		t.Error("trace attached without being requested")
+	}
+	if hdr.Get("X-Primopt-Request-Id") == "" || hdr.Get("X-Primopt-Runtime-Ms") == "" {
+		t.Errorf("volatile headers missing: %v", hdr)
+	}
+
+	// Opt-in trace rides along when asked for.
+	code, _, body = post(t, srv.URL, `{"circuit":"csamp","trace":true}`)
+	if code != http.StatusOK {
+		t.Fatalf("traced request: %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil || resp.Trace == nil {
+		t.Errorf("traced request carried no trace: err=%v", err)
+	}
+}
+
+func TestGenerateRejectsBadRequests(t *testing.T) {
+	s := newStubServer(t, Config{}, okFlow(nil))
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	cases := []struct {
+		name, body string
+		wantCode   int
+		wantKind   string
+	}{
+		{"unknown circuit", `{"circuit":"nand2"}`, 400, kindBadRequest},
+		{"missing circuit", `{}`, 400, kindBadRequest},
+		{"unknown mode", `{"circuit":"csamp","mode":"quantum"}`, 400, kindBadRequest},
+		{"negative knob", `{"circuit":"csamp","seed":-4}`, 400, kindBadRequest},
+		{"malformed json", `{"circuit":`, 400, kindBadRequest},
+	}
+	for _, tc := range cases {
+		code, _, body := post(t, srv.URL, tc.body)
+		if code != tc.wantCode || errKind(t, body) != tc.wantKind {
+			t.Errorf("%s: got %d %s, want %d %s", tc.name, code, errKind(t, body), tc.wantCode, tc.wantKind)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/generate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/generate = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestCircuitsEndpoint(t *testing.T) {
+	s := newStubServer(t, Config{}, okFlow(nil))
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/circuits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(b), `"csamp"`) || !strings.Contains(string(b), `"optimized"`) {
+		t.Errorf("/v1/circuits = %d %s", resp.StatusCode, b)
+	}
+}
+
+// TestPanicIsolation: a panicking request is a structured 500 for
+// that request only — the worker recovers, the counter books it, and
+// the very next request on the same pool succeeds.
+func TestPanicIsolation(t *testing.T) {
+	tr := obs.New()
+	s := newStubServer(t, Config{Workers: 1, Trace: tr}, func(ctx context.Context, bm benchmarkRef, mode flow.Mode, p flow.Params) (*flow.Result, error) {
+		if p.Seed == 666 {
+			panic("deliberate test panic")
+		}
+		return &flow.Result{Metrics: map[string]float64{"ok": 1}}, nil
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	code, _, body := post(t, srv.URL, `{"circuit":"csamp","seed":666}`)
+	if code != http.StatusInternalServerError || errKind(t, body) != kindPanic {
+		t.Fatalf("panicking request = %d %s", code, body)
+	}
+	if !strings.Contains(body, "deliberate test panic") {
+		t.Errorf("panic detail missing from body: %s", body)
+	}
+	if n := tr.Counter("serve.panics").Value(); n != 1 {
+		t.Errorf("serve.panics = %d, want 1", n)
+	}
+	// The single worker survived and still serves.
+	for i := 0; i < 3; i++ {
+		if code, _, _ := post(t, srv.URL, `{"circuit":"csamp"}`); code != http.StatusOK {
+			t.Fatalf("request %d after panic = %d, worker did not survive", i, code)
+		}
+	}
+}
+
+// TestDeadlineThreading: the request deadline reaches the flow
+// context, and its expiry is a 504 with kind timeout.
+func TestDeadlineThreading(t *testing.T) {
+	sawDeadline := make(chan time.Duration, 1)
+	s := newStubServer(t, Config{}, func(ctx context.Context, bm benchmarkRef, mode flow.Mode, p flow.Params) (*flow.Result, error) {
+		if dl, ok := ctx.Deadline(); ok {
+			sawDeadline <- time.Until(dl)
+		}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	code, _, body := post(t, srv.URL, `{"circuit":"csamp","timeout_ms":30}`)
+	if code != http.StatusGatewayTimeout || errKind(t, body) != kindTimeout {
+		t.Fatalf("timed-out request = %d %s", code, body)
+	}
+	select {
+	case d := <-sawDeadline:
+		if d > 40*time.Millisecond {
+			t.Errorf("flow saw deadline %v away, want ~30ms", d)
+		}
+	default:
+		t.Error("flow context had no deadline")
+	}
+}
+
+// TestAdmissionShedding: with the worker busy and the queue full, the
+// next request sheds with 429 and a Retry-After hint; once capacity
+// frees, everything queued completes.
+func TestAdmissionShedding(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	tr := obs.New()
+	s := newStubServer(t, Config{Workers: 1, QueueDepth: 1, Trace: tr}, func(ctx context.Context, bm benchmarkRef, mode flow.Mode, p flow.Params) (*flow.Result, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return &flow.Result{Metrics: map[string]float64{"ok": 1}}, nil
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	codes := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			code, _, _ := post(t, srv.URL, `{"circuit":"csamp"}`)
+			codes <- code
+		}()
+	}
+	// First request on the worker, second parked in the queue.
+	<-started
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.queue) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if len(s.queue) != 1 {
+		t.Fatal("second request never queued")
+	}
+
+	code, hdr, body := post(t, srv.URL, `{"circuit":"csamp"}`)
+	if code != http.StatusTooManyRequests || errKind(t, body) != kindShed {
+		t.Fatalf("saturated request = %d %s", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+	if n := tr.Counter("serve.shed").Value(); n != 1 {
+		t.Errorf("serve.shed = %d, want 1", n)
+	}
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		if code := <-codes; code != http.StatusOK {
+			t.Errorf("queued request %d = %d, want 200", i, code)
+		}
+	}
+}
+
+// TestGracefulDrain: draining flips /readyz, refuses new admissions
+// with 503 + Retry-After, lets the in-flight request finish normally,
+// and Drain returns clean.
+func TestGracefulDrain(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	s := newStubServer(t, Config{Workers: 1}, func(ctx context.Context, bm benchmarkRef, mode flow.Mode, p flow.Params) (*flow.Result, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return &flow.Result{Metrics: map[string]float64{"ok": 1}}, nil
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	inflightCode := make(chan int, 1)
+	go func() {
+		code, _, _ := post(t, srv.URL, `{"circuit":"csamp"}`)
+		inflightCode <- code
+	}()
+	<-started
+
+	if code, body := getBody(t, srv.URL+"/readyz"); code != http.StatusOK || body != "ready\n" {
+		t.Fatalf("/readyz before drain = %d %q", code, body)
+	}
+
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- s.Drain(context.Background()) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.Draining() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	if code, body := getBody(t, srv.URL+"/readyz"); code != http.StatusServiceUnavailable || body != "draining\n" {
+		t.Errorf("/readyz during drain = %d %q", code, body)
+	}
+	if code, _ := getBody(t, srv.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz during drain = %d, liveness must stay green", code)
+	}
+	code, hdr, body := post(t, srv.URL, `{"circuit":"csamp"}`)
+	if code != http.StatusServiceUnavailable || errKind(t, body) != kindDraining {
+		t.Errorf("admission during drain = %d %s", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("draining rejection missing Retry-After")
+	}
+
+	close(release)
+	if err := <-drainErr; err != nil {
+		t.Errorf("Drain = %v, want nil (in-flight finished in time)", err)
+	}
+	if code := <-inflightCode; code != http.StatusOK {
+		t.Errorf("in-flight request during drain = %d, want 200", code)
+	}
+}
+
+// TestDrainDeadlineCancelsInFlight: when the drain deadline expires,
+// in-flight runs are canceled and still receive a terminal response
+// (503 canceled), and Drain reports the forced cancellation.
+func TestDrainDeadlineCancelsInFlight(t *testing.T) {
+	started := make(chan struct{}, 1)
+	s := newStubServer(t, Config{Workers: 1}, func(ctx context.Context, bm benchmarkRef, mode flow.Mode, p flow.Params) (*flow.Result, error) {
+		started <- struct{}{}
+		<-ctx.Done() // a run that never finishes on its own
+		return nil, ctx.Err()
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	inflight := make(chan *struct {
+		code int
+		body string
+	}, 1)
+	go func() {
+		code, _, body := post(t, srv.URL, `{"circuit":"csamp"}`)
+		inflight <- &struct {
+			code int
+			body string
+		}{code, body}
+	}()
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Error("Drain = nil, want the deadline error recording the forced cancel")
+	}
+	got := <-inflight
+	if got.code != http.StatusServiceUnavailable || errKind(t, got.body) != kindCanceled {
+		t.Errorf("force-canceled request = %d %s", got.code, got.body)
+	}
+}
+
+// TestFlowErrorIsStructured500: a failing (non-panicking) flow run is
+// kind internal, and the daemon keeps serving.
+func TestFlowErrorIsStructured500(t *testing.T) {
+	fail := true
+	s := newStubServer(t, Config{Workers: 1}, func(ctx context.Context, bm benchmarkRef, mode flow.Mode, p flow.Params) (*flow.Result, error) {
+		if fail {
+			fail = false
+			return nil, fmt.Errorf("solver exploded")
+		}
+		return &flow.Result{Metrics: map[string]float64{"ok": 1}}, nil
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	code, _, body := post(t, srv.URL, `{"circuit":"csamp"}`)
+	if code != http.StatusInternalServerError || errKind(t, body) != kindInternal {
+		t.Fatalf("failing request = %d %s", code, body)
+	}
+	if !strings.Contains(body, "solver exploded") {
+		t.Errorf("error detail missing: %s", body)
+	}
+	if code, _, _ := post(t, srv.URL, `{"circuit":"csamp"}`); code != http.StatusOK {
+		t.Error("daemon unhealthy after a flow error")
+	}
+}
+
+// TestRequestKnobsReachFlowParams: the spec knobs in the request body
+// land on the flow params the worker runs with.
+func TestRequestKnobsReachFlowParams(t *testing.T) {
+	var got flow.Params
+	var gotBM benchmarkRef
+	var gotMode flow.Mode
+	s := newStubServer(t, Config{}, func(ctx context.Context, bm benchmarkRef, mode flow.Mode, p flow.Params) (*flow.Result, error) {
+		got, gotBM, gotMode = p, bm, mode
+		return &flow.Result{}, nil
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	code, _, body := post(t, srv.URL,
+		`{"circuit":"rovco","mode":"conventional","stages":4,"seed":9,"retry_attempts":5,"place_replicas":3,"spice_workers":2,"verify":true}`)
+	if code != http.StatusOK {
+		t.Fatalf("request = %d %s", code, body)
+	}
+	if gotBM.name != "rovco" || gotBM.stages != 4 || gotMode != flow.Conventional {
+		t.Errorf("benchmark ref = %+v mode %v", gotBM, gotMode)
+	}
+	if got.Seed != 9 || got.Retry.Attempts != 5 || got.Place.Replicas != 3 || got.Optimize.Workers != 2 {
+		t.Errorf("params = seed %d retry %d replicas %d workers %d",
+			got.Seed, got.Retry.Attempts, got.Place.Replicas, got.Optimize.Workers)
+	}
+	if got.Verify.Mode != flow.VerifyWarn {
+		t.Errorf("verify mode = %v, want VerifyWarn", got.Verify.Mode)
+	}
+	if got.Optimize.Cache != s.cache {
+		t.Error("request does not share the daemon cache")
+	}
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, resp.Body); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return resp.StatusCode, buf.String()
+}
